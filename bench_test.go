@@ -1,0 +1,194 @@
+// Package bench holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation section. Each
+// benchmark runs the corresponding experiment end to end and reports the
+// headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates (in miniature) every artifact the paper presents. The full
+// rows/series come from `go run ./cmd/experiments -exp all`; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"simaibench/internal/datastore"
+	"simaibench/internal/experiments"
+)
+
+// validationCfg is a scaled-down validation run sized for benchmarking.
+func validationCfg(mode experiments.ValidationMode) experiments.ValidationConfig {
+	return experiments.ValidationConfig{
+		Mode:         mode,
+		TrainIters:   200,
+		WritePeriod:  25,
+		ReadPeriod:   5,
+		PayloadBytes: 100_000,
+		TimeScale:    0.01,
+		Backend:      datastore.NodeLocal,
+		SimInitS:     0.5,
+		TrainInitS:   1.0,
+	}
+}
+
+// BenchmarkTable2Validation regenerates Table 2: the event-count
+// comparison between the emulated original workflow and the mini-app.
+func BenchmarkTable2Validation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		orig, err := experiments.RunValidation(validationCfg(experiments.Original))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mini, err := experiments.RunValidation(validationCfg(experiments.MiniApp))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(orig.Sim.Timesteps), "orig-sim-steps")
+		b.ReportMetric(float64(mini.Sim.Timesteps), "mini-sim-steps")
+		b.ReportMetric(float64(orig.Sim.TransportEvents), "orig-sim-events")
+		b.ReportMetric(float64(mini.Sim.TransportEvents), "mini-sim-events")
+	}
+}
+
+// BenchmarkTable3IterationStats regenerates Table 3: iteration-time
+// mean/std for both modes.
+func BenchmarkTable3IterationStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		orig, err := experiments.RunValidation(validationCfg(experiments.Original))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mini, err := experiments.RunValidation(validationCfg(experiments.MiniApp))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(orig.Sim.IterMean*1000, "orig-sim-iter-ms")
+		b.ReportMetric(mini.Sim.IterMean*1000, "mini-sim-iter-ms")
+		b.ReportMetric(orig.Sim.IterStd*1000, "orig-sim-std-ms")
+		b.ReportMetric(mini.Sim.IterStd*1000, "mini-sim-std-ms")
+	}
+}
+
+// BenchmarkFig2Timeline regenerates Fig 2: the execution-timeline
+// rendering of a validation run.
+func BenchmarkFig2Timeline(b *testing.B) {
+	res, err := experiments.RunValidation(validationCfg(experiments.MiniApp))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink discard
+		if err := res.Timeline.Render(&sink, 0, 0.25, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Timeline.Spans())), "timeline-spans")
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkFig3Throughput regenerates Fig 3: the Pattern 1 backend ×
+// size × scale throughput sweep on the simulated cluster.
+func BenchmarkFig3Throughput(b *testing.B) {
+	for _, nodes := range experiments.Fig3NodeCounts {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			var points []experiments.Pattern1Point
+			for i := 0; i < b.N; i++ {
+				points = experiments.RunFig3(nodes, 300)
+			}
+			for _, pt := range points {
+				if pt.SizeMB == 8 {
+					b.ReportMetric(pt.WriteGBps, pt.Backend.String()+"-8MB-GBps")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig4ComputeVsTransport regenerates Fig 4: compute versus
+// transport time per event for the two extreme backends.
+func BenchmarkFig4ComputeVsTransport(b *testing.B) {
+	for _, nodes := range experiments.Fig3NodeCounts {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			var points []experiments.Pattern1Point
+			for i := 0; i < b.N; i++ {
+				points = experiments.RunFig4(nodes, 300)
+			}
+			for _, pt := range points {
+				if pt.SizeMB == 32 {
+					b.ReportMetric(pt.WriteMean*1000, pt.Backend.String()+"-32MB-write-ms")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5NonLocalThroughput regenerates Fig 5: the 2-node
+// local-write / non-local-read profile.
+func BenchmarkFig5NonLocalThroughput(b *testing.B) {
+	var points []experiments.Fig5Point
+	for i := 0; i < b.N; i++ {
+		points = experiments.RunFig5Sweep(30)
+	}
+	for _, pt := range points {
+		if pt.SizeMB == 10 {
+			b.ReportMetric(pt.ReadGBps, pt.Backend.String()+"-10MB-read-GBps")
+		}
+	}
+}
+
+// BenchmarkFig6ManyToOne regenerates Fig 6: training runtime per
+// iteration for the many-to-one pattern at both ensemble scales.
+func BenchmarkFig6ManyToOne(b *testing.B) {
+	for _, nodes := range experiments.Fig6NodeCounts {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			var points []experiments.Fig6Point
+			for i := 0; i < b.N; i++ {
+				points = experiments.RunFig6Sweep(nodes, 200)
+			}
+			for _, pt := range points {
+				if pt.SizeMB == 1 {
+					b.ReportMetric(pt.ExecPerIterS*1000, pt.Backend.String()+"-1MB-exec-ms")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIncast regenerates the incast-latency ablation (a
+// mechanism check on the Fig 6b small-message gap).
+func BenchmarkAblationIncast(b *testing.B) {
+	var points []experiments.IncastAblationPoint
+	for i := 0; i < b.N; i++ {
+		points = experiments.RunIncastAblation([]float64{0, 0.010}, 100)
+	}
+	for _, pt := range points {
+		if pt.SizeMB == 1 {
+			b.ReportMetric(pt.DragonFetchS*1000,
+				fmt.Sprintf("dragon-1MB-lat%.0fms-fetch-ms", pt.IncastLatencyS*1000))
+		}
+	}
+}
+
+// BenchmarkStreamingExtension regenerates the staged-polling vs
+// streaming comparison with real data movement.
+func BenchmarkStreamingExtension(b *testing.B) {
+	var points []experiments.StreamingPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.RunStreamingComparison(experiments.StreamingConfig{
+			SizeMB: 1, Snapshots: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, pt := range points {
+		b.ReportMetric(pt.LatencyMeanS*1000, string(pt.Method)+"-latency-ms")
+	}
+}

@@ -1,0 +1,131 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section. Each experiment id maps to one artifact:
+//
+//	table2  event-count validation (original vs mini-app)
+//	table3  iteration-time statistics
+//	fig2    execution timelines (ASCII)
+//	fig3    Pattern 1 throughput sweep (8 and 512 nodes)
+//	fig4    Pattern 1 compute vs transport time
+//	fig5    Pattern 2 two-node non-local throughput
+//	fig6    Pattern 2 many-to-one scaling (8 and 128 nodes)
+//	all     everything above in order
+//
+// The validation experiments run in real mode (actual data movement on
+// this machine, time-compressed); the scale experiments run on the
+// simulated Aurora cluster. See EXPERIMENTS.md for paper-vs-measured.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simaibench/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: table2|table3|fig2|fig3|fig4|fig5|fig6|streaming|ablation|all")
+	trainIters := flag.Int("train-iters", 2500, "validation training iterations (paper: 5000)")
+	sweepIters := flag.Int("sweep-iters", 600, "simulated training iterations per sweep point")
+	timeScale := flag.Float64("time-scale", 0.01, "wall-clock compression for real-mode validation")
+	flag.Parse()
+
+	if err := run(*exp, *trainIters, *sweepIters, *timeScale); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, trainIters, sweepIters int, timeScale float64) error {
+	out := os.Stdout
+	needsValidation := exp == "table2" || exp == "table3" || exp == "fig2" || exp == "all"
+
+	var orig, mini *experiments.ValidationResult
+	if needsValidation {
+		var err error
+		fmt.Fprintf(out, "running validation (%d training iterations, time scale %g)...\n",
+			trainIters, timeScale)
+		orig, err = experiments.RunValidation(experiments.ValidationConfig{
+			Mode: experiments.Original, TrainIters: trainIters, TimeScale: timeScale,
+		})
+		if err != nil {
+			return err
+		}
+		mini, err = experiments.RunValidation(experiments.ValidationConfig{
+			Mode: experiments.MiniApp, TrainIters: trainIters, TimeScale: timeScale,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+
+	switch exp {
+	case "table2":
+		experiments.PrintTable2(out, orig, mini)
+	case "table3":
+		experiments.PrintTable3(out, orig, mini)
+	case "fig2":
+		return experiments.PrintFig2(out, orig, mini, 25)
+	case "fig3":
+		for _, nodes := range experiments.Fig3NodeCounts {
+			experiments.PrintFig3(out, nodes, experiments.RunFig3(nodes, sweepIters))
+			fmt.Fprintln(out)
+		}
+	case "fig4":
+		for _, nodes := range experiments.Fig3NodeCounts {
+			experiments.PrintFig4(out, nodes, experiments.RunFig4(nodes, sweepIters))
+			fmt.Fprintln(out)
+		}
+	case "fig5":
+		experiments.PrintFig5(out, experiments.RunFig5Sweep(50))
+	case "fig6":
+		for _, nodes := range experiments.Fig6NodeCounts {
+			experiments.PrintFig6(out, nodes, experiments.RunFig6Sweep(nodes, sweepIters))
+			fmt.Fprintln(out)
+		}
+	case "streaming":
+		for _, size := range []float64{0.4, 2, 8} {
+			points, err := experiments.RunStreamingComparison(experiments.StreamingConfig{SizeMB: size})
+			if err != nil {
+				return err
+			}
+			experiments.PrintStreaming(out, points)
+			fmt.Fprintln(out)
+		}
+	case "ablation":
+		experiments.PrintMDSAblation(out, experiments.RunMDSAblation(
+			[]float64{0.00001, 0.0001, 0.0004, 0.0016}, sweepIters))
+		fmt.Fprintln(out)
+		experiments.PrintCacheAblation(out, experiments.RunCacheAblation(
+			[]float64{2, 8.75, 35, 1000}, sweepIters))
+		fmt.Fprintln(out)
+		experiments.PrintIncastAblation(out, experiments.RunIncastAblation(
+			[]float64{0, 0.002, 0.010, 0.040}, sweepIters))
+	case "all":
+		experiments.PrintTable2(out, orig, mini)
+		fmt.Fprintln(out)
+		experiments.PrintTable3(out, orig, mini)
+		fmt.Fprintln(out)
+		if err := experiments.PrintFig2(out, orig, mini, 25); err != nil {
+			return err
+		}
+		for _, nodes := range experiments.Fig3NodeCounts {
+			experiments.PrintFig3(out, nodes, experiments.RunFig3(nodes, sweepIters))
+			fmt.Fprintln(out)
+		}
+		for _, nodes := range experiments.Fig3NodeCounts {
+			experiments.PrintFig4(out, nodes, experiments.RunFig4(nodes, sweepIters))
+			fmt.Fprintln(out)
+		}
+		experiments.PrintFig5(out, experiments.RunFig5Sweep(50))
+		fmt.Fprintln(out)
+		for _, nodes := range experiments.Fig6NodeCounts {
+			experiments.PrintFig6(out, nodes, experiments.RunFig6Sweep(nodes, sweepIters))
+			fmt.Fprintln(out)
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

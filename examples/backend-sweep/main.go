@@ -1,0 +1,63 @@
+// backend-sweep: measure real (this machine, real bytes) staging
+// throughput for every backend across message sizes and print
+// Fig-3-style rows. Unlike cmd/experiments -exp fig3, which models an
+// Aurora partition, this sweep exercises the actual Go implementations —
+// useful for sanity-checking the relative cost of protocol overhead
+// (Redis RESP vs Dragon binary framing vs rename-based file staging).
+//
+//	go run ./examples/backend-sweep [-repeats 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"simaibench/pkg/simaibench"
+)
+
+func main() {
+	repeats := flag.Int("repeats", 20, "transfers per (backend, size) cell")
+	flag.Parse()
+
+	sizes := []int{400_000, 2_000_000, 8_000_000, 32_000_000} // the paper's 0.4–32 MB
+	fmt.Printf("%-12s %10s %14s %14s\n", "backend", "size(MB)", "read(GB/s)", "write(GB/s)")
+
+	for _, backend := range simaibench.Backends() {
+		mgr, info, err := simaibench.StartBackend(backend, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err := simaibench.Connect(info)
+		if err != nil {
+			mgr.Stop()
+			log.Fatal(err)
+		}
+		for _, size := range sizes {
+			payload := make([]byte, size)
+			var writeS, readS float64
+			for r := 0; r < *repeats; r++ {
+				key := fmt.Sprintf("sweep/%d/%d", size, r)
+				start := time.Now()
+				if err := store.StageWrite(key, payload); err != nil {
+					log.Fatal(err)
+				}
+				writeS += time.Since(start).Seconds()
+				start = time.Now()
+				if _, err := store.StageRead(key); err != nil {
+					log.Fatal(err)
+				}
+				readS += time.Since(start).Seconds()
+				if err := store.Clean(key); err != nil {
+					log.Fatal(err)
+				}
+			}
+			bytes := float64(size) * float64(*repeats)
+			fmt.Printf("%-12s %10.2f %14.3f %14.3f\n",
+				backend, float64(size)/1e6, bytes/readS/1e9, bytes/writeS/1e9)
+		}
+		store.Close()
+		mgr.Stop()
+	}
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAuroraSpec(t *testing.T) {
+	s := Aurora(512)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != 512 || s.CPUsPerNode != 2 || s.GPUsPerNode != 6 || s.TilesPerGPU != 2 {
+		t.Fatalf("spec = %+v", s)
+	}
+	if s.TilesPerNode() != 12 {
+		t.Fatalf("tiles/node = %d, want 12", s.TilesPerNode())
+	}
+	if s.TotalTiles() != 512*12 {
+		t.Fatalf("total tiles = %d", s.TotalTiles())
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Nodes: 0, CPUsPerNode: 2, NICGBps: 25},
+		{Nodes: 4, CPUsPerNode: 0, NICGBps: 25},
+		{Nodes: 4, CPUsPerNode: 2, NICGBps: 0},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("accepted bad spec %+v", s)
+		}
+	}
+}
+
+func TestCacheSharePerProc(t *testing.T) {
+	s := Aurora(8)
+	// The paper: 105 MB L3 / 12 procs ≈ 8 MB per process.
+	got := s.CacheSharePerProcMB(12)
+	if math.Abs(got-105.0/12) > 1e-9 {
+		t.Fatalf("cache share = %v, want %v", got, 105.0/12)
+	}
+	if s.CacheSharePerProcMB(0) != s.CacheSharePerProcMB(1) {
+		t.Fatal("zero procs should clamp to 1")
+	}
+}
+
+func TestPattern1PlacementSplitsTiles(t *testing.T) {
+	s := Aurora(8)
+	p := Pattern1Placement(s)
+	if p.SimTilesPerNode != 6 || p.AITilesPerNode != 6 {
+		t.Fatalf("placement = %+v, want 6+6", p)
+	}
+	if p.ProcsPerNode() != 12 {
+		t.Fatalf("procs/node = %d", p.ProcsPerNode())
+	}
+}
+
+func TestPattern2PlacementFullNode(t *testing.T) {
+	s := Aurora(2)
+	p := Pattern2Placement(s)
+	if p.SimTilesPerNode != 12 || p.AITilesPerNode != 12 {
+		t.Fatalf("placement = %+v, want 12/12", p)
+	}
+}

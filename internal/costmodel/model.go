@@ -1,0 +1,212 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"simaibench/internal/cluster"
+	"simaibench/internal/datastore"
+	"simaibench/internal/des"
+)
+
+// Model binds the parameter set to a DES environment and a cluster spec,
+// owning the shared contention resources (per-node buses, the Lustre MDS
+// and OST pool, the trainer NIC).
+type Model struct {
+	env    *des.Env
+	spec   cluster.Spec
+	params Params
+
+	nodeBus []*des.Resource // per-node local-exchange concurrency
+	mds     *des.Resource   // single shared Lustre metadata server
+	ostPool *des.Resource   // OST stream slots
+
+	trainerNIC map[datastore.Backend]*des.Resource
+}
+
+// New builds a model for env/spec with the given parameters.
+func New(env *des.Env, spec cluster.Spec, p Params) *Model {
+	m := &Model{env: env, spec: spec, params: p, trainerNIC: map[datastore.Backend]*des.Resource{}}
+	m.nodeBus = make([]*des.Resource, spec.Nodes)
+	for i := range m.nodeBus {
+		m.nodeBus[i] = des.NewResource(env, p.NodeBusConcurrency)
+	}
+	m.mds = des.NewResource(env, 1)
+	m.ostPool = des.NewResource(env, p.LustreOSTConcurrency)
+	return m
+}
+
+// Params returns the active parameter set.
+func (m *Model) Params() Params { return m.params }
+
+// cacheEff returns bandwidth degraded by L3 spill beyond the per-process
+// cache share: per doubling above the share, bandwidth shrinks by
+// CacheSpillFactor of itself.
+func (m *Model) cacheEff(bw, mb float64) float64 {
+	share := m.params.CacheShareMB
+	if mb <= share {
+		return bw
+	}
+	doublings := math.Log2(mb / share)
+	return bw / (1 + m.params.CacheSpillFactor*doublings)
+}
+
+// windowEff degrades Dragon's remote bandwidth beyond its protocol
+// window, giving the ~10 MB peak of Fig 5.
+func (m *Model) windowEff(bw, mb float64) float64 {
+	w := m.params.DragonWindowMB
+	if mb <= w {
+		return bw
+	}
+	doublings := math.Log2(mb / w)
+	return bw / (1 + m.params.DragonWindowFactor*doublings)
+}
+
+// localMemParams returns (overhead, peak bandwidth) for the in-memory
+// stores' node-local exchange.
+func (m *Model) localMemParams(b datastore.Backend) (float64, float64) {
+	switch b {
+	case datastore.NodeLocal:
+		return m.params.NodeLocalOverheadS, m.params.NodeLocalBWGBps
+	case datastore.Dragon:
+		return m.params.DragonOverheadS, m.params.DragonBWGBps
+	case datastore.Redis:
+		return m.params.RedisOverheadS, m.params.RedisBWGBps
+	}
+	panic(fmt.Sprintf("costmodel: %v is not an in-memory backend", b))
+}
+
+// LocalWrite blocks the calling process for the modeled duration of a
+// co-located stage_write of mb megabytes on node, returning the elapsed
+// virtual seconds. LocalRead is symmetric: the paper's Fig 3 shows
+// near-mirrored read/write profiles for local exchange, with reads
+// slightly cheaper (no temp-file rename / no dirty-page copy-back).
+func (m *Model) LocalWrite(p *des.Proc, b datastore.Backend, node int, mb float64) float64 {
+	return m.localOp(p, b, node, mb, 1.0)
+}
+
+// LocalRead models a co-located stage_read.
+func (m *Model) LocalRead(p *des.Proc, b datastore.Backend, node int, mb float64) float64 {
+	return m.localOp(p, b, node, mb, 0.85)
+}
+
+func (m *Model) localOp(p *des.Proc, b datastore.Backend, node int, mb float64, costScale float64) float64 {
+	start := p.Now()
+	if b == datastore.FileSystem {
+		m.lustreTransfer(p, mb, costScale)
+		return p.Now() - start
+	}
+	overhead, bw := m.localMemParams(b)
+	eff := m.cacheEff(bw, mb)
+	hold := (overhead + mb/1000/eff) * costScale
+	m.nodeBus[node%len(m.nodeBus)].Use(p, hold)
+	return p.Now() - start
+}
+
+// lustreTransfer models one staged read/write against the shared file
+// system: metadata ops through the single MDS queue (this is where the
+// 512-node collapse comes from), then an OST stream for the payload.
+func (m *Model) lustreTransfer(p *des.Proc, mb float64, costScale float64) {
+	for i := 0; i < m.params.LustreMetaOpsPerTransfer; i++ {
+		p.Sleep(m.params.LustreClientRPCS * costScale)
+		m.mds.Use(p, m.params.LustreMDSServiceS)
+	}
+	stream := mb / 1000 / m.params.LustreStreamBWGBps * costScale
+	m.ostPool.Use(p, stream)
+}
+
+// remoteParams returns (latency, bandwidth(mb), concurrency) for one
+// non-local fetch stream of backend b.
+func (m *Model) remoteParams(b datastore.Backend, mb float64) (lat, bw float64, conc int) {
+	switch b {
+	case datastore.Redis:
+		return m.params.RedisRemoteLatencyS, m.params.RedisRemoteBWGBps, m.params.RedisRemoteConcurrency
+	case datastore.Dragon:
+		return m.params.DragonRemoteLatencyS,
+			m.windowEff(m.params.DragonRemoteBWGBps, mb),
+			m.params.DragonRemoteConcurrency
+	case datastore.FileSystem:
+		// Per-stream cost mirrors a Lustre read: client RPCs for
+		// metadata plus OST streaming.
+		lat := float64(m.params.LustreMetaOpsPerTransfer) *
+			(m.params.LustreClientRPCS + m.params.LustreMDSServiceS)
+		return lat, m.params.LustreStreamBWGBps, m.params.FSRemoteConcurrency
+	}
+	panic(fmt.Sprintf("costmodel: backend %v has no remote model (node-local cannot be read remotely)", b))
+}
+
+// RemoteReadOne models a single non-local stage_read of mb megabytes
+// (Fig 5's 2-node experiment), returning elapsed seconds.
+func (m *Model) RemoteReadOne(p *des.Proc, b datastore.Backend, mb float64) float64 {
+	start := p.Now()
+	lat, bw, _ := m.remoteParams(b, mb)
+	nic := m.nic(b, bw)
+	nic.Use(p, lat+mb/1000/bw)
+	return p.Now() - start
+}
+
+// nic returns the trainer's NIC resource for backend b: capacity is how
+// many full-rate streams of this backend the NIC admits, enforcing the
+// aggregate injection-bandwidth bound in many-to-one incast.
+func (m *Model) nic(b datastore.Backend, perFlowBW float64) *des.Resource {
+	if r, ok := m.trainerNIC[b]; ok {
+		return r
+	}
+	capacity := int(m.spec.NICGBps / perFlowBW)
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := des.NewResource(m.env, capacity)
+	m.trainerNIC[b] = r
+	return r
+}
+
+// FetchAll models the trainer's blocking ensemble read: n staged arrays
+// of mb megabytes each, fetched with the backend's effective client
+// concurrency through the shared trainer NIC. It blocks the calling
+// process until every message has arrived (the paper's AI component
+// "blocks until all data for that specific update iteration has
+// arrived") and returns the elapsed virtual seconds.
+func (m *Model) FetchAll(p *des.Proc, b datastore.Backend, n int, mb float64) float64 {
+	start := p.Now()
+	lat, bw, conc := m.remoteParams(b, mb)
+	if b == datastore.Dragon {
+		// Many-to-one drains pay the dictionary's per-message incast
+		// handling on top of the p2p setup cost.
+		lat += m.params.DragonIncastLatencyS
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	nic := m.nic(b, bw)
+	sem := des.NewResource(p.Env(), conc)
+	procs := make([]*des.Proc, n)
+	for i := 0; i < n; i++ {
+		procs[i] = p.Env().Spawn("fetch", func(fp *des.Proc) {
+			sem.Acquire(fp)
+			nic.Use(fp, lat+mb/1000/bw)
+			sem.Release()
+		})
+	}
+	for _, fp := range procs {
+		p.Wait(fp.Done())
+	}
+	return p.Now() - start
+}
+
+// AnalyticLocal returns the closed-form expected duration of a local
+// operation absent contention — used by tests to check that the DES
+// reduces to the analytic model under no load, and by documentation.
+func (m *Model) AnalyticLocal(b datastore.Backend, mb float64, read bool) float64 {
+	scale := 1.0
+	if read {
+		scale = 0.85
+	}
+	if b == datastore.FileSystem {
+		meta := float64(m.params.LustreMetaOpsPerTransfer) *
+			(m.params.LustreClientRPCS*scale + m.params.LustreMDSServiceS)
+		return meta + mb/1000/m.params.LustreStreamBWGBps*scale
+	}
+	overhead, bw := m.localMemParams(b)
+	return (overhead + mb/1000/m.cacheEff(bw, mb)) * scale
+}

@@ -1,0 +1,298 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"simaibench/internal/cluster"
+	"simaibench/internal/datastore"
+	"simaibench/internal/des"
+)
+
+func newModel(nodes int) (*des.Env, *Model) {
+	env := des.NewEnv()
+	return env, New(env, cluster.Aurora(nodes), Default())
+}
+
+// runOne executes fn inside a single DES process and returns its result.
+func runOne(env *des.Env, fn func(p *des.Proc) float64) float64 {
+	var out float64
+	env.Spawn("t", func(p *des.Proc) { out = fn(p) })
+	env.Run()
+	return out
+}
+
+func TestUncontendedLocalMatchesAnalytic(t *testing.T) {
+	for _, b := range []datastore.Backend{datastore.NodeLocal, datastore.Dragon, datastore.Redis, datastore.FileSystem} {
+		for _, mb := range []float64{0.4, 2, 8, 32} {
+			env, m := newModel(8)
+			got := runOne(env, func(p *des.Proc) float64 {
+				return m.LocalWrite(p, b, 0, mb)
+			})
+			want := m.AnalyticLocal(b, mb, false)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%v %vMB: DES %v vs analytic %v", b, mb, got, want)
+			}
+		}
+	}
+}
+
+func TestReadCheaperThanWrite(t *testing.T) {
+	for _, b := range []datastore.Backend{datastore.NodeLocal, datastore.Dragon, datastore.Redis, datastore.FileSystem} {
+		env, m := newModel(8)
+		var w, r float64
+		env.Spawn("t", func(p *des.Proc) {
+			w = m.LocalWrite(p, b, 0, 8)
+			r = m.LocalRead(p, b, 0, 8)
+		})
+		env.Run()
+		if r >= w {
+			t.Errorf("%v: read %v >= write %v", b, r, w)
+		}
+	}
+}
+
+func TestInMemoryThroughputNonMonotonic(t *testing.T) {
+	// Fig 3 shape: throughput rises with size then dips at 32 MB for the
+	// in-memory stores (cache spill).
+	for _, b := range []datastore.Backend{datastore.NodeLocal, datastore.Dragon, datastore.Redis} {
+		tput := func(mb float64) float64 {
+			env, m := newModel(8)
+			d := runOne(env, func(p *des.Proc) float64 { return m.LocalWrite(p, b, 0, mb) })
+			return mb / 1000 / d
+		}
+		t04, t8, t32 := tput(0.4), tput(8), tput(32)
+		if t8 <= t04 {
+			t.Errorf("%v: throughput not rising 0.4->8 MB (%v vs %v)", b, t04, t8)
+		}
+		if t32 >= t8 {
+			t.Errorf("%v: no cache dip at 32 MB (%v vs %v)", b, t32, t8)
+		}
+	}
+}
+
+func TestFilesystemThroughputMonotonic(t *testing.T) {
+	// Fig 3 shape: file system throughput rises monotonically with size.
+	prev := -1.0
+	for _, mb := range []float64{0.4, 2, 8, 32} {
+		env, m := newModel(8)
+		d := runOne(env, func(p *des.Proc) float64 {
+			return m.LocalWrite(p, datastore.FileSystem, 0, mb)
+		})
+		tput := mb / 1000 / d
+		if tput <= prev {
+			t.Fatalf("filesystem throughput not monotonic at %v MB: %v <= %v", mb, tput, prev)
+		}
+		prev = tput
+	}
+}
+
+func TestBackendOrderingAtPeak(t *testing.T) {
+	// Fig 3: node-local >= dragon > redis for local exchange.
+	tput := func(b datastore.Backend) float64 {
+		env, m := newModel(8)
+		d := runOne(env, func(p *des.Proc) float64 { return m.LocalWrite(p, b, 0, 8) })
+		return 8.0 / 1000 / d
+	}
+	nl, dr, rd := tput(datastore.NodeLocal), tput(datastore.Dragon), tput(datastore.Redis)
+	if !(nl >= dr && dr > rd) {
+		t.Fatalf("peak ordering violated: node-local %v, dragon %v, redis %v", nl, dr, rd)
+	}
+}
+
+func TestMDSContentionEmergesAtScale(t *testing.T) {
+	// Many concurrent Lustre writers must see queueing delay that a
+	// single writer does not — the mechanism behind Fig 3b/4d.
+	solo := func() float64 {
+		env, m := newModel(8)
+		return runOne(env, func(p *des.Proc) float64 {
+			return m.LocalWrite(p, datastore.FileSystem, 0, 2)
+		})
+	}()
+	env, m := newModel(512)
+	var worst float64
+	const writers = 2000
+	done := 0
+	for i := 0; i < writers; i++ {
+		env.Spawn("w", func(p *des.Proc) {
+			d := m.LocalWrite(p, datastore.FileSystem, 0, 2)
+			if d > worst {
+				worst = d
+			}
+			done++
+		})
+	}
+	env.Run()
+	if done != writers {
+		t.Fatalf("only %d writers finished", done)
+	}
+	if worst < 5*solo {
+		t.Fatalf("no MDS contention: worst %v vs solo %v", worst, solo)
+	}
+}
+
+func TestInMemoryLocalUnaffectedByScale(t *testing.T) {
+	// Fig 3: in-memory stores exchange data locally, so per-op time is
+	// scale-independent (8 vs 512 nodes) when each node carries the same
+	// local load.
+	dur := func(nodes int) float64 {
+		env, m := newModel(nodes)
+		return runOne(env, func(p *des.Proc) float64 {
+			return m.LocalWrite(p, datastore.NodeLocal, 0, 8)
+		})
+	}
+	if d8, d512 := dur(8), dur(512); math.Abs(d8-d512) > 1e-12 {
+		t.Fatalf("node-local op time varies with scale: %v vs %v", d8, d512)
+	}
+}
+
+func TestRemoteRedisReadPoor(t *testing.T) {
+	// Fig 5a: Redis non-local read throughput far below Dragon's.
+	env, m := newModel(2)
+	var redis, dragon float64
+	env.Spawn("t", func(p *des.Proc) {
+		redis = m.RemoteReadOne(p, datastore.Redis, 8)
+		dragon = m.RemoteReadOne(p, datastore.Dragon, 8)
+	})
+	env.Run()
+	if redis < 3*dragon {
+		t.Fatalf("redis remote read (%v) should be >> dragon (%v)", redis, dragon)
+	}
+}
+
+func TestDragonRemotePeaksNearWindow(t *testing.T) {
+	// Fig 5: Dragon throughput peaks around ~10 MB then declines.
+	tput := func(mb float64) float64 {
+		env, m := newModel(2)
+		d := runOne(env, func(p *des.Proc) float64 {
+			return m.RemoteReadOne(p, datastore.Dragon, mb)
+		})
+		return mb / 1000 / d
+	}
+	t1, t10, t128 := tput(1), tput(10), tput(128)
+	if t10 <= t1 {
+		t.Fatalf("dragon throughput not rising to window: %v vs %v", t1, t10)
+	}
+	if t128 >= t10 {
+		t.Fatalf("dragon throughput not declining past window: %v vs %v", t128, t10)
+	}
+}
+
+func TestFSRemoteCatchesDragonAtLargeSizes(t *testing.T) {
+	// Fig 5: FS throughput grows with size, becoming comparable to
+	// Dragon at the largest messages.
+	ratio := func(mb float64) float64 {
+		env, m := newModel(2)
+		var fs, dr float64
+		env.Spawn("t", func(p *des.Proc) {
+			fs = m.RemoteReadOne(p, datastore.FileSystem, mb)
+			dr = m.RemoteReadOne(p, datastore.Dragon, mb)
+		})
+		env.Run()
+		return fs / dr // >1 means FS slower
+	}
+	small, large := ratio(1), ratio(128)
+	if small < 1.2 {
+		t.Fatalf("FS should lag dragon at small sizes: ratio %v", small)
+	}
+	if large >= small/1.5 {
+		t.Fatalf("FS/dragon gap should shrink with size: %v -> %v", small, large)
+	}
+}
+
+func TestFetchAllBlocksForAllMessages(t *testing.T) {
+	env, m := newModel(8)
+	one := runOne(env, func(p *des.Proc) float64 {
+		return m.FetchAll(p, datastore.Dragon, 1, 4)
+	})
+	env2, m2 := newModel(8)
+	many := runOne(env2, func(p *des.Proc) float64 {
+		return m2.FetchAll(p, datastore.Dragon, 64, 4)
+	})
+	if many <= one {
+		t.Fatalf("64-message fetch (%v) not slower than 1-message (%v)", many, one)
+	}
+}
+
+func TestManyToOneSmallMessagesDragonSlowerThanFS(t *testing.T) {
+	// Fig 6b: at 128 nodes and small messages, Dragon's per-message
+	// latency makes the ensemble read significantly slower than FS.
+	fetch := func(b datastore.Backend, mb float64) float64 {
+		env, m := newModel(128)
+		return runOne(env, func(p *des.Proc) float64 {
+			return m.FetchAll(p, b, 128, mb)
+		})
+	}
+	drSmall, fsSmall := fetch(datastore.Dragon, 1), fetch(datastore.FileSystem, 1)
+	if drSmall < 2*fsSmall {
+		t.Fatalf("dragon (%v) should be >=2x slower than FS (%v) at 1 MB many-to-one", drSmall, fsSmall)
+	}
+	// ...and comparable at large sizes.
+	drBig, fsBig := fetch(datastore.Dragon, 128), fetch(datastore.FileSystem, 128)
+	ratio := drBig / fsBig
+	if ratio > 2.5 || ratio < 0.4 {
+		t.Fatalf("dragon/FS at 128 MB should be comparable, got ratio %v (%v vs %v)", ratio, drBig, fsBig)
+	}
+}
+
+func TestRedisWorstForManyToOne(t *testing.T) {
+	// Fig 6: Redis remains the slowest backend at scale.
+	fetch := func(b datastore.Backend) float64 {
+		env, m := newModel(128)
+		return runOne(env, func(p *des.Proc) float64 {
+			return m.FetchAll(p, b, 128, 8)
+		})
+	}
+	rd, dr, fs := fetch(datastore.Redis), fetch(datastore.Dragon), fetch(datastore.FileSystem)
+	if rd <= dr || rd <= fs {
+		t.Fatalf("redis (%v) should be slowest (dragon %v, fs %v)", rd, dr, fs)
+	}
+}
+
+func TestNICBoundsAggregateFetchRate(t *testing.T) {
+	// Total fetch time can never beat the NIC injection bound N*S/BW.
+	env, m := newModel(128)
+	const n, mb = 128, 64.0
+	got := runOne(env, func(p *des.Proc) float64 {
+		return m.FetchAll(p, datastore.FileSystem, n, mb)
+	})
+	nicFloor := float64(n) * mb / 1000 / cluster.Aurora(128).NICGBps
+	if got < nicFloor*0.99 {
+		t.Fatalf("fetch %v beat NIC floor %v", got, nicFloor)
+	}
+}
+
+func TestCacheEffMonotoneDecline(t *testing.T) {
+	_, m := newModel(8)
+	prev := math.Inf(1)
+	for _, mb := range []float64{1, 8, 16, 32, 64, 128} {
+		eff := m.cacheEff(2.5, mb)
+		if eff > prev+1e-12 {
+			t.Fatalf("cacheEff increased at %v MB", mb)
+		}
+		if eff > 2.5 || eff <= 0 {
+			t.Fatalf("cacheEff out of range: %v", eff)
+		}
+		prev = eff
+	}
+	if m.cacheEff(2.5, 4) != 2.5 {
+		t.Fatal("cacheEff should be flat below the share")
+	}
+}
+
+func TestNodeLocalHasNoRemoteModel(t *testing.T) {
+	env, m := newModel(2)
+	panicked := false
+	env.Spawn("t", func(p *des.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		m.RemoteReadOne(p, datastore.NodeLocal, 1)
+	})
+	env.Run()
+	if !panicked {
+		t.Fatal("node-local remote read did not panic (tmpfs is not remotely readable, per the paper)")
+	}
+}

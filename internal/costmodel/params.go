@@ -1,0 +1,140 @@
+// Package costmodel provides the analytic + queueing transport models
+// that let the discrete-event simulation reproduce the paper's scale
+// experiments (Fig 3–6). Each backend gets a model of its per-operation
+// cost; shared contention points (Lustre metadata server, trainer NIC)
+// are des.Resources so queueing delay emerges from load rather than
+// being hard-coded.
+//
+// Calibration targets are the *shapes* in the paper's figures, not
+// absolute Aurora numbers: in-memory stores peak near 8 MB and dip at
+// 32 MB (L3 share exceeded); the file system is monotonic in size but
+// collapses at 512 nodes (MDS contention); Redis reads poorly over the
+// fabric; Dragon's point-to-point peak does not save it from
+// many-to-one latency at small messages.
+package costmodel
+
+// Params collects every model constant in one place, each tied to the
+// paper's stated mechanism. Times in seconds, sizes in MB, bandwidths in
+// GB/s unless noted.
+type Params struct {
+	// --- In-memory store local exchange (Pattern 1 co-located) ---
+
+	// NodeLocalOverheadS is the fixed per-operation cost of the tmpfs
+	// store (VFS entry, temp-file create, rename).
+	NodeLocalOverheadS float64
+	// NodeLocalBWGBps is the peak copy bandwidth through tmpfs (DRAM
+	// copy bound).
+	NodeLocalBWGBps float64
+
+	// DragonOverheadS / DragonBWGBps: Dragon dictionary local put/get —
+	// slightly more overhead than raw tmpfs (manager round trip).
+	DragonOverheadS float64
+	DragonBWGBps    float64
+
+	// RedisOverheadS / RedisBWGBps: Redis pays RESP serialization and a
+	// socket hop even node-locally; lowest peak bandwidth of the three
+	// in-memory stores, matching Fig 3.
+	RedisOverheadS float64
+	RedisBWGBps    float64
+
+	// CacheShareMB is the per-process L3 share (105 MB / 12 procs ≈ 8.75
+	// MB in the paper's arithmetic); transfers larger than this spill.
+	CacheShareMB float64
+	// CacheSpillFactor scales bandwidth per doubling beyond the cache
+	// share, producing the 32 MB dip of Fig 3.
+	CacheSpillFactor float64
+
+	// NodeBusConcurrency bounds simultaneous full-rate local transfers
+	// per node (memory-bandwidth sharing among the 12 ranks).
+	NodeBusConcurrency int
+
+	// --- Lustre (file system backend) ---
+
+	// LustreClientRPCS is the client-side fixed cost per metadata
+	// operation (RPC round trip + llite overhead).
+	LustreClientRPCS float64
+	// LustreMDSServiceS is the metadata server's service time per
+	// operation; the MDS is a single shared queue, so utilization near 1
+	// at 512 nodes produces the order-of-magnitude degradation of
+	// Fig 3b/4d.
+	LustreMDSServiceS float64
+	// LustreMetaOpsPerTransfer: open + close (2) per staged read/write.
+	LustreMetaOpsPerTransfer int
+	// LustreStreamBWGBps is the per-client OST streaming bandwidth
+	// (1 MB stripes, stripe count 1, per the paper's configuration).
+	LustreStreamBWGBps float64
+	// LustreOSTConcurrency bounds simultaneous full-rate OST streams
+	// (aggregate OST bandwidth / per-stream bandwidth).
+	LustreOSTConcurrency int
+
+	// --- Remote (non-local) access, Pattern 2 ---
+
+	// RedisRemoteBWGBps: Redis non-local reads are request/response
+	// without deep pipelining — poor fabric utilization (Fig 5a).
+	RedisRemoteBWGBps float64
+	// RedisRemoteLatencyS per remote operation.
+	RedisRemoteLatencyS float64
+	// RedisRemoteConcurrency: effective parallel fetch streams one
+	// client sustains.
+	RedisRemoteConcurrency int
+
+	// DragonRemoteBWGBps: Dragon RDMA-like transfer peak.
+	DragonRemoteBWGBps float64
+	// DragonRemoteLatencyS: point-to-point per-message setup. Low — Fig 5
+	// shows Dragon's p2p throughput peaking well above the file system.
+	DragonRemoteLatencyS float64
+	// DragonIncastLatencyS: additional per-message handling cost when a
+	// single client drains many senders (dictionary rendezvous +
+	// manager coordination). The paper infers exactly this: "high
+	// point-to-point throughput does not always guarantee the best
+	// performance in a many-to-one communication pattern, suggesting
+	// that latency can become a critical factor" — this constant is
+	// that latency (Fig 6b's small-message gap).
+	DragonIncastLatencyS float64
+	// DragonRemoteConcurrency: parallel fetch streams.
+	DragonRemoteConcurrency int
+	// DragonWindowMB: throughput declines beyond this message size
+	// (protocol window), the ~10 MB peak of Fig 5.
+	DragonWindowMB float64
+	// DragonWindowFactor scales bandwidth per doubling beyond the window.
+	DragonWindowFactor float64
+
+	// FSRemoteConcurrency: parallel file reads the trainer issues
+	// against Lustre (client readahead/striping parallelism).
+	FSRemoteConcurrency int
+}
+
+// Default returns the calibrated parameter set used by the experiment
+// harness. See the package comment for the shape targets.
+func Default() Params {
+	return Params{
+		NodeLocalOverheadS: 0.0005,
+		NodeLocalBWGBps:    2.5,
+		DragonOverheadS:    0.0007,
+		DragonBWGBps:       2.2,
+		RedisOverheadS:     0.0011,
+		RedisBWGBps:        1.2,
+		CacheShareMB:       8.75,
+		CacheSpillFactor:   0.35,
+		NodeBusConcurrency: 8,
+
+		LustreClientRPCS:         0.002,
+		LustreMDSServiceS:        0.0004,
+		LustreMetaOpsPerTransfer: 2,
+		LustreStreamBWGBps:       1.0,
+		LustreOSTConcurrency:     512,
+
+		RedisRemoteBWGBps:      0.25,
+		RedisRemoteLatencyS:    0.0015,
+		RedisRemoteConcurrency: 1,
+
+		DragonRemoteBWGBps:      2.2,
+		DragonRemoteLatencyS:    0.0005,
+		DragonIncastLatencyS:    0.010,
+		DragonRemoteConcurrency: 8,
+		DragonWindowMB:          10,
+		DragonWindowFactor:      0.25,
+
+		FSRemoteConcurrency: 16,
+	}
+}

@@ -1,0 +1,274 @@
+// Package datastore implements the paper's data-transport layer (§3.2):
+// the ServerManager that deploys data-staging backends and the DataStore
+// client that exposes one uniform API over all of them — stage_write,
+// stage_read, poll_staged_data and clean_staged_data in the original.
+//
+// Four backends are supported, exactly the set the paper benchmarks:
+//
+//   - Redis        — the mini RESP server(s) of internal/redis
+//   - Dragon       — the distributed dictionary of internal/dragon
+//   - NodeLocal    — the sharded file store of internal/fskv on a
+//     node-local (tmpfs-style) directory
+//   - FileSystem   — the same sharded store on a shared (Lustre-style)
+//     directory
+//
+// Selecting a backend is a runtime argument, which is what lets the
+// mini-apps benchmark every transport without code changes — the paper's
+// central design point.
+package datastore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"simaibench/internal/dragon"
+	"simaibench/internal/fskv"
+	"simaibench/internal/redis"
+)
+
+// Backend identifies a data-transport implementation.
+type Backend int
+
+// The four transport backends from the paper's evaluation.
+const (
+	Redis Backend = iota
+	Dragon
+	NodeLocal
+	FileSystem
+)
+
+// ParseBackend converts a CLI/config string to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "redis":
+		return Redis, nil
+	case "dragon":
+		return Dragon, nil
+	case "node-local", "nodelocal", "node_local":
+		return NodeLocal, nil
+	case "filesystem", "file-system", "fs", "lustre":
+		return FileSystem, nil
+	}
+	return Redis, fmt.Errorf("datastore: unknown backend %q", s)
+}
+
+// String returns the canonical config name.
+func (b Backend) String() string {
+	switch b {
+	case Redis:
+		return "redis"
+	case Dragon:
+		return "dragon"
+	case NodeLocal:
+		return "node-local"
+	case FileSystem:
+		return "filesystem"
+	}
+	return "unknown"
+}
+
+// Backends lists all four, in the paper's presentation order.
+func Backends() []Backend { return []Backend{Redis, FileSystem, Dragon, NodeLocal} }
+
+// ErrNotStaged reports a key with no staged value yet; pollers treat it
+// as "try again".
+var ErrNotStaged = errors.New("datastore: key not staged")
+
+// Store is the uniform client API (the paper's DataStore class).
+// Implementations are safe for concurrent use.
+type Store interface {
+	// StageWrite publishes value under key. Writes are atomic: a
+	// concurrent StageRead sees either the whole value or ErrNotStaged.
+	StageWrite(key string, value []byte) error
+	// StageRead returns the staged value, or ErrNotStaged.
+	StageRead(key string) ([]byte, error)
+	// Poll reports whether key is currently staged (poll_staged_data).
+	Poll(key string) (bool, error)
+	// Clean removes the given keys; missing keys are ignored
+	// (clean_staged_data).
+	Clean(keys ...string) error
+	// Keys lists staged keys (diagnostics, ensemble discovery).
+	Keys() ([]string, error)
+	// Backend reports which transport this store uses.
+	Backend() Backend
+	// Close releases client resources (servers are owned by the
+	// ServerManager, not the client).
+	Close() error
+}
+
+// WaitStaged polls key at the given interval until it is staged or ctx
+// is done, returning the value. It is the blocking read the paper's AI
+// trainer uses on the many-to-one pattern.
+func WaitStaged(ctx context.Context, s Store, key string, interval time.Duration) ([]byte, error) {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	for {
+		v, err := s.StageRead(key)
+		if err == nil {
+			return v, nil
+		}
+		if !errors.Is(err, ErrNotStaged) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("datastore: waiting for %q: %w", key, ctx.Err())
+		case <-time.After(interval):
+		}
+	}
+}
+
+// ClientInfo is everything a client needs to connect to a running
+// deployment. The ServerManager returns it from Start (the analogue of
+// the paper's server.get_server_info()); it is JSON-serializable so
+// remote components can receive it as launch metadata.
+type ClientInfo struct {
+	Backend Backend  `json:"backend"`
+	Addrs   []string `json:"addrs,omitempty"`  // redis / dragon server addresses
+	Dir     string   `json:"dir,omitempty"`    // node-local / filesystem root
+	Shards  int      `json:"shards,omitempty"` // file-store shard count
+}
+
+// Connect opens a client Store for a running deployment.
+func Connect(info ClientInfo) (Store, error) {
+	switch info.Backend {
+	case Redis:
+		cl, err := redis.DialCluster(info.Addrs)
+		if err != nil {
+			return nil, err
+		}
+		return &redisStore{cluster: cl}, nil
+	case Dragon:
+		if len(info.Addrs) == 0 {
+			return nil, errors.New("datastore: dragon needs server addresses")
+		}
+		eps := make([]dragon.Endpoint, 0, len(info.Addrs))
+		for _, a := range info.Addrs {
+			ep, err := dragon.DialEndpoint(a)
+			if err != nil {
+				for _, e := range eps {
+					e.Close()
+				}
+				return nil, err
+			}
+			eps = append(eps, ep)
+		}
+		d, err := dragon.Attach(eps...)
+		if err != nil {
+			return nil, err
+		}
+		return &dragonStore{dict: d}, nil
+	case NodeLocal, FileSystem:
+		shards := info.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		st, err := fskv.Open(info.Dir, shards)
+		if err != nil {
+			return nil, err
+		}
+		return &fsStore{store: st, backend: info.Backend}, nil
+	}
+	return nil, fmt.Errorf("datastore: unknown backend %v", info.Backend)
+}
+
+// --- file-backed store (node-local and filesystem) ---
+
+type fsStore struct {
+	store   *fskv.Store
+	backend Backend
+}
+
+func (s *fsStore) StageWrite(key string, value []byte) error { return s.store.Put(key, value) }
+
+func (s *fsStore) StageRead(key string) ([]byte, error) {
+	v, err := s.store.Get(key)
+	if errors.Is(err, fskv.ErrNotFound) {
+		return nil, fmt.Errorf("%w: %q", ErrNotStaged, key)
+	}
+	return v, err
+}
+
+func (s *fsStore) Poll(key string) (bool, error) { return s.store.Exists(key), nil }
+
+func (s *fsStore) Clean(keys ...string) error {
+	for _, k := range keys {
+		if err := s.store.Delete(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *fsStore) Keys() ([]string, error) { return s.store.Keys() }
+func (s *fsStore) Backend() Backend        { return s.backend }
+func (s *fsStore) Close() error            { return nil }
+
+// --- redis-backed store ---
+
+type redisStore struct {
+	cluster *redis.Cluster
+}
+
+func (s *redisStore) StageWrite(key string, value []byte) error {
+	return s.cluster.Set(key, value)
+}
+
+func (s *redisStore) StageRead(key string) ([]byte, error) {
+	v, err := s.cluster.Get(key)
+	if errors.Is(err, redis.ErrNil) {
+		return nil, fmt.Errorf("%w: %q", ErrNotStaged, key)
+	}
+	return v, err
+}
+
+func (s *redisStore) Poll(key string) (bool, error) { return s.cluster.Exists(key) }
+
+func (s *redisStore) Clean(keys ...string) error {
+	for _, k := range keys {
+		if _, err := s.cluster.Del(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *redisStore) Keys() ([]string, error) { return s.cluster.Keys("*") }
+func (s *redisStore) Backend() Backend        { return Redis }
+func (s *redisStore) Close() error            { return s.cluster.Close() }
+
+// --- dragon-backed store ---
+
+type dragonStore struct {
+	dict *dragon.Dict
+}
+
+func (s *dragonStore) StageWrite(key string, value []byte) error {
+	return s.dict.Put(key, value)
+}
+
+func (s *dragonStore) StageRead(key string) ([]byte, error) {
+	v, err := s.dict.Get(key)
+	if errors.Is(err, dragon.ErrNotFound) {
+		return nil, fmt.Errorf("%w: %q", ErrNotStaged, key)
+	}
+	return v, err
+}
+
+func (s *dragonStore) Poll(key string) (bool, error) { return s.dict.Has(key) }
+
+func (s *dragonStore) Clean(keys ...string) error {
+	for _, k := range keys {
+		if err := s.dict.Del(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *dragonStore) Keys() ([]string, error) { return s.dict.Keys() }
+func (s *dragonStore) Backend() Backend        { return Dragon }
+func (s *dragonStore) Close() error            { return s.dict.Close() }

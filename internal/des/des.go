@@ -1,0 +1,284 @@
+// Package des implements a deterministic, process-oriented discrete-event
+// simulation engine in the style of SimPy. It is the substrate for the
+// simulated-scale experiments: virtual Aurora nodes, interconnect links,
+// Lustre servers and workflow components all run as des processes against
+// a virtual clock, so 512-node experiments finish in milliseconds of wall
+// time and are bit-reproducible across runs.
+//
+// Concurrency model: every process is a goroutine, but exactly one
+// goroutine (either the scheduler or a single resumed process) runs at a
+// time. Control is handed over explicitly through unbuffered channels, so
+// process bodies may mutate shared simulation state without locks.
+// Determinism: simultaneous events fire in schedule order (a monotonically
+// increasing sequence number breaks time ties).
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Env is a simulation environment: a virtual clock plus a pending-event
+// queue. The zero value is not usable; construct with NewEnv.
+type Env struct {
+	now     float64
+	seq     int64
+	events  eventHeap
+	yield   chan struct{}
+	procs   int // live (spawned, unfinished) processes
+	live    []*Proc
+	stopped bool
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Env) Now() float64 { return e.now }
+
+// Schedule runs fn at absolute virtual time t (>= Now). It is the
+// low-level primitive beneath processes, timeouts and event triggers.
+func (e *Env) Schedule(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("des: schedule at t=%v before now=%v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &scheduled{t: t, seq: e.seq, fn: fn})
+}
+
+// After runs fn d seconds from now.
+func (e *Env) After(d float64, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Run executes events until the queue is empty. It returns the final
+// virtual time.
+func (e *Env) Run() float64 { return e.RunUntil(math.Inf(1)) }
+
+// RunUntil executes events with time <= until. Events scheduled beyond the
+// horizon remain queued. It returns the virtual time of the last executed
+// event (or the starting time if nothing ran).
+func (e *Env) RunUntil(until float64) float64 {
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.t > until {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.t
+		next.fn()
+	}
+	return e.now
+}
+
+// Stop halts the run loop after the current event completes. Queued events
+// are preserved; Run/RunUntil may be called again to continue.
+func (e *Env) Stop() { e.stopped = true }
+
+// resumeStopped clears the stop flag so a later Run continues.
+func (e *Env) clearStop() { e.stopped = false }
+
+// Resume continues a stopped environment until the queue drains.
+func (e *Env) Resume() float64 {
+	e.clearStop()
+	return e.Run()
+}
+
+// Pending reports the number of queued events.
+func (e *Env) Pending() int { return len(e.events) }
+
+// Procs reports the number of live processes.
+func (e *Env) Procs() int { return e.procs }
+
+// shutdownSignal unwinds a parked process during Shutdown.
+type shutdownSignal struct{}
+
+// Shutdown terminates every live process and drops all queued events,
+// releasing their goroutines. Call it when abandoning an environment
+// whose horizon stopped before all processes finished (RunUntil), so
+// long-lived benchmark runs do not accumulate parked goroutines. The
+// environment must not be used afterwards.
+func (e *Env) Shutdown() {
+	for _, p := range e.live {
+		if p.dead {
+			continue
+		}
+		// Every non-dead process is parked on its resume channel (the
+		// scheduler is idle), so the send cannot block.
+		p.resume <- shutdownSignal{}
+		<-e.yield
+	}
+	e.live = nil
+	e.events = nil
+}
+
+// scheduled is one queued event.
+type scheduled struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*scheduled)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Proc is the handle a process body uses to interact with the simulation:
+// sleeping, waiting on events, acquiring resources. A Proc is only valid
+// inside the goroutine running its body.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan any
+	done   *Event
+	dead   bool
+}
+
+// Spawn starts a new process running body immediately (at the current
+// virtual time, after already-queued events at that time). It returns the
+// process handle; the Done event fires when body returns.
+func (e *Env) Spawn(name string, body func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, body)
+}
+
+// SpawnAt starts a new process at absolute virtual time t.
+func (e *Env) SpawnAt(t float64, name string, body func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan any), done: NewEvent(e)}
+	e.procs++
+	e.live = append(e.live, p)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isShutdown := r.(shutdownSignal); !isShutdown {
+					panic(r) // real failure in the process body
+				}
+			}
+			p.dead = true
+			e.procs--
+			e.yield <- struct{}{}
+		}()
+		if v := <-p.resume; isShutdown(v) { // wait for first activation
+			panic(shutdownSignal{})
+		}
+		body(p)
+		p.done.Trigger(nil)
+	}()
+	e.Schedule(t, func() { e.transfer(p, nil) })
+	return p
+}
+
+// isShutdown reports whether a resume value is the shutdown sentinel.
+func isShutdown(v any) bool {
+	_, ok := v.(shutdownSignal)
+	return ok
+}
+
+// transfer hands control to process p (delivering v from its wait) and
+// blocks the scheduler until p yields again.
+func (e *Env) transfer(p *Proc, v any) {
+	p.resume <- v
+	<-e.yield
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.env.now }
+
+// Done returns the event triggered when the process body returns.
+func (p *Proc) Done() *Event { return p.done }
+
+// park yields control to the scheduler and blocks until some event
+// resumes this process, returning the value passed to the resume. A
+// shutdown sentinel unwinds the process (recovered in the spawn wrapper).
+func (p *Proc) park() any {
+	p.env.yield <- struct{}{}
+	v := <-p.resume
+	if isShutdown(v) {
+		panic(shutdownSignal{})
+	}
+	return v
+}
+
+// Sleep advances the process by d virtual seconds.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		panic("des: negative sleep")
+	}
+	e := p.env
+	e.After(d, func() { e.transfer(p, nil) })
+	p.park()
+}
+
+// Wait blocks until ev triggers, returning the trigger value. If ev has
+// already triggered it returns immediately without yielding.
+func (p *Proc) Wait(ev *Event) any {
+	if ev.triggered {
+		return ev.val
+	}
+	ev.waiters = append(ev.waiters, p)
+	return p.park()
+}
+
+// WaitAll blocks until every event has triggered.
+func (p *Proc) WaitAll(evs ...*Event) {
+	for _, ev := range evs {
+		p.Wait(ev)
+	}
+}
+
+// Event is a one-shot condition processes can wait on. Triggering resumes
+// all waiters at the current virtual time, in wait order.
+type Event struct {
+	env       *Env
+	triggered bool
+	val       any
+	waiters   []*Proc
+}
+
+// NewEvent returns an untriggered event bound to env.
+func NewEvent(env *Env) *Event { return &Event{env: env} }
+
+// Triggered reports whether Trigger has been called.
+func (ev *Event) Triggered() bool { return ev.triggered }
+
+// Value returns the trigger value (nil before triggering).
+func (ev *Event) Value() any { return ev.val }
+
+// Trigger fires the event with value v, scheduling resumption of every
+// waiter at the current time. Triggering twice panics: one-shot events
+// keep workflow completion logic honest.
+func (ev *Event) Trigger(v any) {
+	if ev.triggered {
+		panic("des: event triggered twice")
+	}
+	ev.triggered = true
+	ev.val = v
+	ws := ev.waiters
+	ev.waiters = nil
+	for _, p := range ws {
+		proc := p
+		ev.env.Schedule(ev.env.now, func() { ev.env.transfer(proc, v) })
+	}
+}

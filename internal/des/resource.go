@@ -1,0 +1,67 @@
+package des
+
+// Resource is a counted resource with a FIFO wait queue, equivalent to a
+// SimPy Resource. It models serialization points in the cluster: a NIC
+// that admits a bounded number of concurrent flows, a Lustre metadata
+// server with a single service slot, an OST with k parallel streams.
+type Resource struct {
+	env   *Env
+	cap   int
+	inUse int
+	waitQ []*Proc
+	// peak tracks the maximum simultaneous utilization, handy for
+	// asserting contention in tests.
+	peak int
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity < 1 {
+		panic("des: resource capacity must be >= 1")
+	}
+	return &Resource{env: env, cap: capacity}
+}
+
+// Acquire blocks the calling process until a slot is free, FIFO order.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap {
+		r.inUse++
+		if r.inUse > r.peak {
+			r.peak = r.inUse
+		}
+		return
+	}
+	r.waitQ = append(r.waitQ, p)
+	p.park()
+}
+
+// Release frees one slot, waking the longest-waiting process if any.
+// The slot transfers directly to the woken process, preserving FIFO
+// fairness (no barging).
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("des: release of idle resource")
+	}
+	if len(r.waitQ) > 0 {
+		next := r.waitQ[0]
+		r.waitQ = r.waitQ[1:]
+		// inUse stays the same: the slot moves to next.
+		r.env.Schedule(r.env.now, func() { r.env.transfer(next, nil) })
+		return
+	}
+	r.inUse--
+}
+
+// Use acquires the resource, holds it for d virtual seconds, and releases.
+func (r *Resource) Use(p *Proc, d float64) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// InUse reports current utilization; Cap the capacity; Waiting the queue
+// length; Peak the maximum utilization observed.
+func (r *Resource) InUse() int   { return r.inUse }
+func (r *Resource) Cap() int     { return r.cap }
+func (r *Resource) Waiting() int { return len(r.waitQ) }
+func (r *Resource) Peak() int    { return r.peak }

@@ -1,0 +1,51 @@
+package des
+
+// Store is an unbounded FIFO queue connecting producer and consumer
+// processes, equivalent to a SimPy Store. Getters block while the store is
+// empty; putters never block. It models mailboxes: staged-data
+// notification queues, server request queues, trainer inboxes.
+type Store struct {
+	env   *Env
+	items []any
+	getQ  []*Proc
+}
+
+// NewStore returns an empty store bound to env.
+func NewStore(env *Env) *Store { return &Store{env: env} }
+
+// Put appends v, waking the longest-waiting getter if any. Callable from
+// process bodies and from plain scheduled callbacks alike.
+func (s *Store) Put(v any) {
+	if len(s.getQ) > 0 {
+		p := s.getQ[0]
+		s.getQ = s.getQ[1:]
+		s.env.Schedule(s.env.now, func() { s.env.transfer(p, v) })
+		return
+	}
+	s.items = append(s.items, v)
+}
+
+// Get blocks the calling process until an item is available and returns
+// it, FIFO order.
+func (s *Store) Get(p *Proc) any {
+	if len(s.items) > 0 {
+		v := s.items[0]
+		s.items = s.items[1:]
+		return v
+	}
+	s.getQ = append(s.getQ, p)
+	return p.park()
+}
+
+// TryGet returns the head item without blocking; ok is false if empty.
+func (s *Store) TryGet() (v any, ok bool) {
+	if len(s.items) == 0 {
+		return nil, false
+	}
+	v = s.items[0]
+	s.items = s.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (s *Store) Len() int { return len(s.items) }

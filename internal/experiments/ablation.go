@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"simaibench/internal/costmodel"
+	"simaibench/internal/datastore"
+)
+
+// Ablations probe the cost-model mechanisms behind the paper's three
+// headline effects, varying one design constant at a time:
+//
+//   - the Lustre MDS service time (behind the 512-node file-system
+//     collapse of Fig 3b/4d),
+//   - the per-process cache share (behind the 32 MB in-memory dip of
+//     Fig 3),
+//   - the Dragon incast latency (behind the small-message many-to-one
+//     gap of Fig 6b).
+//
+// They answer "is the claimed mechanism actually what produces the
+// effect in this model?" — if an ablated constant removes the effect,
+// the mechanism attribution holds.
+
+// MDSAblationPoint is one (service time, nodes) file-system measurement.
+type MDSAblationPoint struct {
+	MDSServiceS float64
+	Nodes       int
+	WriteMeanS  float64
+}
+
+// RunMDSAblation sweeps the MDS service time at both Fig 3 scales,
+// measuring the Pattern 1 file-system write time at 8 MB.
+func RunMDSAblation(services []float64, trainIters int) []MDSAblationPoint {
+	var points []MDSAblationPoint
+	for _, svc := range services {
+		for _, nodes := range []int{8, 512} {
+			params := costmodel.Default()
+			params.LustreMDSServiceS = svc
+			pt := RunPattern1(Pattern1Config{
+				Nodes: nodes, Backend: datastore.FileSystem, SizeMB: 8,
+				TrainIters: trainIters, Params: &params,
+			})
+			points = append(points, MDSAblationPoint{
+				MDSServiceS: svc, Nodes: nodes, WriteMeanS: pt.WriteMean,
+			})
+		}
+	}
+	return points
+}
+
+// PrintMDSAblation renders the sweep.
+func PrintMDSAblation(w io.Writer, points []MDSAblationPoint) {
+	fmt.Fprintln(w, "Ablation — Lustre MDS service time vs FS write latency (Pattern 1, 8 MB)")
+	fmt.Fprintf(w, "%14s %8s %14s\n", "mds-svc(ms)", "nodes", "write-mean(s)")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%14.2f %8d %14.4f\n", pt.MDSServiceS*1000, pt.Nodes, pt.WriteMeanS)
+	}
+}
+
+// CacheAblationPoint is one (cache share, size) node-local measurement.
+type CacheAblationPoint struct {
+	CacheShareMB float64
+	SizeMB       float64
+	WriteGBps    float64
+}
+
+// RunCacheAblation sweeps the per-process cache share and measures the
+// node-local write throughput profile across the Fig 3 sizes.
+func RunCacheAblation(shares []float64, trainIters int) []CacheAblationPoint {
+	var points []CacheAblationPoint
+	for _, share := range shares {
+		for _, size := range Fig3Sizes {
+			params := costmodel.Default()
+			params.CacheShareMB = share
+			pt := RunPattern1(Pattern1Config{
+				Nodes: 8, Backend: datastore.NodeLocal, SizeMB: size,
+				TrainIters: trainIters, Params: &params,
+			})
+			points = append(points, CacheAblationPoint{
+				CacheShareMB: share, SizeMB: size, WriteGBps: pt.WriteGBps,
+			})
+		}
+	}
+	return points
+}
+
+// PrintCacheAblation renders the sweep.
+func PrintCacheAblation(w io.Writer, points []CacheAblationPoint) {
+	fmt.Fprintln(w, "Ablation — per-process L3 share vs node-local throughput profile (Pattern 1, 8 nodes)")
+	fmt.Fprintf(w, "%14s %10s %14s\n", "share(MB)", "size(MB)", "write(GB/s)")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%14.1f %10.2f %14.3f\n", pt.CacheShareMB, pt.SizeMB, pt.WriteGBps)
+	}
+}
+
+// IncastAblationPoint is one (incast latency, size) Pattern 2 comparison.
+type IncastAblationPoint struct {
+	IncastLatencyS float64
+	SizeMB         float64
+	DragonFetchS   float64
+	FSFetchS       float64
+}
+
+// RunIncastAblation sweeps Dragon's per-message incast latency at 128
+// nodes, comparing the trainer's ensemble-fetch time against the file
+// system's. With the latency ablated to ~zero, Dragon's point-to-point
+// advantage should reassert itself at small messages.
+func RunIncastAblation(latencies []float64, trainIters int) []IncastAblationPoint {
+	var points []IncastAblationPoint
+	for _, lat := range latencies {
+		for _, size := range []float64{1, 10, 128} {
+			params := costmodel.Default()
+			params.DragonIncastLatencyS = lat
+			dr := RunFig6(Fig6Config{
+				Nodes: 128, Backend: datastore.Dragon, SizeMB: size,
+				TrainIters: trainIters, Params: &params,
+			})
+			fs := RunFig6(Fig6Config{
+				Nodes: 128, Backend: datastore.FileSystem, SizeMB: size,
+				TrainIters: trainIters, Params: &params,
+			})
+			points = append(points, IncastAblationPoint{
+				IncastLatencyS: lat, SizeMB: size,
+				DragonFetchS: dr.FetchMeanS, FSFetchS: fs.FetchMeanS,
+			})
+		}
+	}
+	return points
+}
+
+// PrintIncastAblation renders the sweep.
+func PrintIncastAblation(w io.Writer, points []IncastAblationPoint) {
+	fmt.Fprintln(w, "Ablation — Dragon incast latency vs many-to-one fetch time (128 nodes)")
+	fmt.Fprintf(w, "%16s %10s %16s %14s\n", "incast-lat(ms)", "size(MB)", "dragon-fetch(s)", "fs-fetch(s)")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%16.1f %10.2f %16.4f %14.4f\n",
+			pt.IncastLatencyS*1000, pt.SizeMB, pt.DragonFetchS, pt.FSFetchS)
+	}
+}

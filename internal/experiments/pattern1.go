@@ -1,0 +1,224 @@
+// Package experiments contains the harnesses that regenerate every table
+// and figure of the paper's evaluation (§4):
+//
+//	Table 2/3, Fig 2 — validation of the one-to-one mini-app (real mode)
+//	Fig 3/4         — Pattern 1 transport sweep (simulated cluster)
+//	Fig 5/6         — Pattern 2 non-local transport and scaling (simulated)
+//
+// Each experiment returns structured results and can print itself in the
+// same rows/series the paper reports; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"simaibench/internal/cluster"
+	"simaibench/internal/costmodel"
+	"simaibench/internal/datastore"
+	"simaibench/internal/des"
+	"simaibench/internal/stats"
+)
+
+// Pattern1Config drives the Fig 3/4 sweep: the co-located one-to-one
+// workflow on a simulated Aurora partition.
+type Pattern1Config struct {
+	Nodes   int
+	Backend datastore.Backend
+	SizeMB  float64
+	// SimIterS / TrainIterS are the emulated iteration times measured
+	// from the production workflow (Table 3 mini-app row).
+	SimIterS   float64
+	TrainIterS float64
+	// WritePeriod: simulation writes a snapshot every this many solver
+	// iterations (100 in the paper).
+	WritePeriod int
+	// ReadPeriod: the trainer checks for data every this many training
+	// iterations (10 in the paper).
+	ReadPeriod int
+	// TrainIters: training iterations to simulate (>=2500 in the paper;
+	// smaller values preserve the steady-state statistics).
+	TrainIters int
+	// Params overrides the cost-model constants (zero value = Default).
+	Params *costmodel.Params
+}
+
+// withDefaults fills unset fields with the paper's values.
+func (c Pattern1Config) withDefaults() Pattern1Config {
+	if c.Nodes == 0 {
+		c.Nodes = 8
+	}
+	if c.SimIterS == 0 {
+		c.SimIterS = 0.0325
+	}
+	if c.TrainIterS == 0 {
+		c.TrainIterS = 0.0633
+	}
+	if c.WritePeriod == 0 {
+		c.WritePeriod = 100
+	}
+	if c.ReadPeriod == 0 {
+		c.ReadPeriod = 10
+	}
+	if c.TrainIters == 0 {
+		c.TrainIters = 600
+	}
+	return c
+}
+
+// Pattern1Point is one (backend, size, nodes) measurement of Fig 3/4.
+type Pattern1Point struct {
+	Nodes     int
+	Backend   datastore.Backend
+	SizeMB    float64
+	ReadGBps  float64 // per-process read throughput (Fig 3)
+	WriteGBps float64 // per-process write throughput (Fig 3)
+	ReadMeanS float64 // mean time per read event (Fig 4)
+	WriteMean float64 // mean time per write event (Fig 4)
+	SimIterS  float64 // compute reference lines of Fig 4
+	TrainIter float64
+	Writes    int64
+	Reads     int64
+}
+
+// RunPattern1 simulates the co-located one-to-one workflow: 6 simulation
+// ranks and 6 trainer ranks per node, fully asynchronous staging through
+// the chosen backend, and returns throughput/time-per-event statistics
+// averaged over all processes and events (the paper's methodology).
+func RunPattern1(cfg Pattern1Config) Pattern1Point {
+	cfg = cfg.withDefaults()
+	spec := cluster.Aurora(cfg.Nodes)
+	place := cluster.Pattern1Placement(spec)
+	env := des.NewEnv()
+	params := costmodel.Default()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	model := costmodel.New(env, spec, params)
+
+	horizon := float64(cfg.TrainIters) * cfg.TrainIterS
+	var writeTput, readTput stats.Throughput
+	var writeTime, readTime stats.Welford
+	bytes := int64(cfg.SizeMB * 1e6)
+
+	for node := 0; node < cfg.Nodes; node++ {
+		node := node
+		// Simulation ranks: write one snapshot per write period. The
+		// compute between writes is a single virtual sleep (iteration
+		// timing is deterministic, so batching sleeps loses nothing).
+		for r := 0; r < place.SimTilesPerNode; r++ {
+			env.Spawn("sim", func(p *des.Proc) {
+				period := float64(cfg.WritePeriod) * cfg.SimIterS
+				for p.Now() < horizon {
+					p.Sleep(period)
+					d := model.LocalWrite(p, cfg.Backend, node, cfg.SizeMB)
+					writeTime.Add(d)
+					writeTput.Add(bytes, d)
+				}
+			})
+		}
+		// Trainer ranks: read one snapshot per read period, but only
+		// when fresh data exists — once per write period, matching the
+		// asynchronous polling of the real workflow (most polls find
+		// nothing new; those cost no transfer).
+		for r := 0; r < place.AITilesPerNode; r++ {
+			env.Spawn("ai", func(p *des.Proc) {
+				readPeriod := float64(cfg.ReadPeriod) * cfg.TrainIterS
+				writePeriod := float64(cfg.WritePeriod) * cfg.SimIterS
+				lastRead := -writePeriod
+				for p.Now() < horizon {
+					p.Sleep(readPeriod)
+					if p.Now()-lastRead < writePeriod {
+						continue // no new snapshot staged yet
+					}
+					lastRead = p.Now()
+					d := model.LocalRead(p, cfg.Backend, node, cfg.SizeMB)
+					readTime.Add(d)
+					readTput.Add(bytes, d)
+				}
+			})
+		}
+	}
+	env.RunUntil(horizon * 1.5)
+	env.Shutdown() // release processes parked beyond the horizon
+
+	return Pattern1Point{
+		Nodes:     cfg.Nodes,
+		Backend:   cfg.Backend,
+		SizeMB:    cfg.SizeMB,
+		ReadGBps:  readTput.MeanGBps(),
+		WriteGBps: writeTput.MeanGBps(),
+		ReadMeanS: readTime.Mean(),
+		WriteMean: writeTime.Mean(),
+		SimIterS:  cfg.SimIterS,
+		TrainIter: cfg.TrainIterS,
+		Writes:    writeTime.N(),
+		Reads:     readTime.N(),
+	}
+}
+
+// Fig3Sizes are the paper's message sizes for Pattern 1.
+var Fig3Sizes = []float64{0.4, 2, 8, 32}
+
+// Fig3NodeCounts are the two scales shown in Fig 3.
+var Fig3NodeCounts = []int{8, 512}
+
+// RunFig3 sweeps all backends and sizes at the given node count.
+func RunFig3(nodes, trainIters int) []Pattern1Point {
+	var points []Pattern1Point
+	for _, b := range datastore.Backends() {
+		for _, size := range Fig3Sizes {
+			points = append(points, RunPattern1(Pattern1Config{
+				Nodes: nodes, Backend: b, SizeMB: size, TrainIters: trainIters,
+			}))
+		}
+	}
+	return points
+}
+
+// PrintFig3 renders Fig-3-style rows: per-process read and write
+// throughput by backend and data size.
+func PrintFig3(w io.Writer, nodes int, points []Pattern1Point) {
+	fmt.Fprintf(w, "Fig 3 — Pattern 1 read/write throughput per process, %d nodes\n", nodes)
+	fmt.Fprintf(w, "%-12s %10s %14s %14s\n", "backend", "size(MB)", "read(GB/s)", "write(GB/s)")
+	for _, pt := range points {
+		if pt.Nodes != nodes {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %10.2f %14.3f %14.3f\n",
+			pt.Backend, pt.SizeMB, pt.ReadGBps, pt.WriteGBps)
+	}
+}
+
+// Fig4Backends are the two extremes compared in Fig 4.
+var Fig4Backends = []datastore.Backend{datastore.NodeLocal, datastore.FileSystem}
+
+// RunFig4 reuses the Pattern 1 harness for the compute-vs-transport
+// comparison of Fig 4.
+func RunFig4(nodes, trainIters int) []Pattern1Point {
+	var points []Pattern1Point
+	for _, b := range Fig4Backends {
+		for _, size := range Fig3Sizes {
+			points = append(points, RunPattern1(Pattern1Config{
+				Nodes: nodes, Backend: b, SizeMB: size, TrainIters: trainIters,
+			}))
+		}
+	}
+	return points
+}
+
+// PrintFig4 renders Fig-4-style rows: mean time per event for compute
+// (Sim iter, AI iter) versus transport (read, write).
+func PrintFig4(w io.Writer, nodes int, points []Pattern1Point) {
+	fmt.Fprintf(w, "Fig 4 — Pattern 1 compute vs transport time per event, %d nodes\n", nodes)
+	fmt.Fprintf(w, "%-12s %10s %12s %12s %12s %12s\n",
+		"backend", "size(MB)", "sim-iter(s)", "ai-iter(s)", "write(s)", "read(s)")
+	for _, pt := range points {
+		if pt.Nodes != nodes {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %10.2f %12.4f %12.4f %12.4f %12.4f\n",
+			pt.Backend, pt.SizeMB, pt.SimIterS, pt.TrainIter, pt.WriteMean, pt.ReadMeanS)
+	}
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"simaibench/internal/cluster"
+	"simaibench/internal/costmodel"
+	"simaibench/internal/datastore"
+	"simaibench/internal/des"
+	"simaibench/internal/stats"
+)
+
+// Pattern2Backends are the backends that support non-local access
+// (node-local tmpfs is excluded, exactly as in the paper: "a node-local
+// solution using tmpfs is not possible in this case").
+var Pattern2Backends = []datastore.Backend{datastore.Redis, datastore.FileSystem, datastore.Dragon}
+
+// Fig5Config drives the 2-node point-to-point experiment: the simulation
+// stages data to its local backend on node 0, the AI component reads it
+// non-locally from node 1.
+type Fig5Config struct {
+	Backend datastore.Backend
+	SizeMB  float64
+	// Transfers: how many write/read pairs to sample.
+	Transfers int
+	Params    *costmodel.Params
+}
+
+// Fig5Point is one (backend, size) measurement: local-write and
+// non-local-read throughput per process.
+type Fig5Point struct {
+	Backend   datastore.Backend
+	SizeMB    float64
+	ReadGBps  float64
+	WriteGBps float64
+}
+
+// RunFig5 measures the 2-node local-write / non-local-read pattern.
+func RunFig5(cfg Fig5Config) Fig5Point {
+	if cfg.Transfers == 0 {
+		cfg.Transfers = 50
+	}
+	spec := cluster.Aurora(2)
+	env := des.NewEnv()
+	params := costmodel.Default()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	model := costmodel.New(env, spec, params)
+	bytes := int64(cfg.SizeMB * 1e6)
+
+	var writeTput, readTput stats.Throughput
+	env.Spawn("pair", func(p *des.Proc) {
+		for i := 0; i < cfg.Transfers; i++ {
+			// Simulation writes locally on node 0...
+			d := model.LocalWrite(p, cfg.Backend, 0, cfg.SizeMB)
+			writeTput.Add(bytes, d)
+			// ...then the remote AI process reads it over the fabric.
+			d = model.RemoteReadOne(p, cfg.Backend, cfg.SizeMB)
+			readTput.Add(bytes, d)
+		}
+	})
+	env.Run()
+	return Fig5Point{
+		Backend:   cfg.Backend,
+		SizeMB:    cfg.SizeMB,
+		ReadGBps:  readTput.MeanGBps(),
+		WriteGBps: writeTput.MeanGBps(),
+	}
+}
+
+// Fig5Sizes spans the paper's log-scale x axis (10^0 .. ~10^2 MB).
+var Fig5Sizes = []float64{0.4, 1, 4, 10, 32, 128}
+
+// RunFig5Sweep runs the full Fig 5 grid.
+func RunFig5Sweep(transfers int) []Fig5Point {
+	var points []Fig5Point
+	for _, b := range Pattern2Backends {
+		for _, size := range Fig5Sizes {
+			points = append(points, RunFig5(Fig5Config{Backend: b, SizeMB: size, Transfers: transfers}))
+		}
+	}
+	return points
+}
+
+// PrintFig5 renders Fig-5-style rows.
+func PrintFig5(w io.Writer, points []Fig5Point) {
+	fmt.Fprintln(w, "Fig 5 — Pattern 2, 2 nodes: non-local read / local write throughput per process")
+	fmt.Fprintf(w, "%-12s %10s %14s %14s\n", "backend", "size(MB)", "read(GB/s)", "write(GB/s)")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%-12s %10.2f %14.3f %14.3f\n", pt.Backend, pt.SizeMB, pt.ReadGBps, pt.WriteGBps)
+	}
+}
+
+// Fig6Config drives the many-to-one scaling experiment: one simulation
+// component per node staging locally, a single AI component on its own
+// node reading the whole ensemble every read period and blocking until
+// all arrays arrive.
+type Fig6Config struct {
+	// Nodes is the number of simulation nodes (one sim component each);
+	// the trainer gets its own additional node.
+	Nodes   int
+	Backend datastore.Backend
+	SizeMB  float64
+	// SimIterS / TrainIterS: emulated iteration times (same as Pattern 1).
+	SimIterS   float64
+	TrainIterS float64
+	// WritePeriod / ReadPeriod in iterations (10 and 10 in the paper).
+	WritePeriod int
+	ReadPeriod  int
+	// TrainIters: training iterations to simulate.
+	TrainIters int
+	Params     *costmodel.Params
+}
+
+func (c Fig6Config) withDefaults() Fig6Config {
+	if c.Nodes == 0 {
+		c.Nodes = 8
+	}
+	if c.SimIterS == 0 {
+		c.SimIterS = 0.0325
+	}
+	if c.TrainIterS == 0 {
+		c.TrainIterS = 0.0633
+	}
+	if c.WritePeriod == 0 {
+		c.WritePeriod = 10
+	}
+	if c.ReadPeriod == 0 {
+		c.ReadPeriod = 10
+	}
+	if c.TrainIters == 0 {
+		c.TrainIters = 300
+	}
+	return c
+}
+
+// Fig6Point is one (nodes, backend, size) measurement: the trainer's
+// execution time per iteration, compute plus blocking ensemble reads —
+// exactly the paper's metric ("total execution time of the training
+// component divided by the number of iterations").
+type Fig6Point struct {
+	Nodes        int
+	Backend      datastore.Backend
+	SizeMB       float64
+	ExecPerIterS float64
+	FetchMeanS   float64 // mean blocking ensemble-read time per period
+}
+
+// RunFig6 simulates the many-to-one pattern at scale.
+func RunFig6(cfg Fig6Config) Fig6Point {
+	cfg = cfg.withDefaults()
+	spec := cluster.Aurora(cfg.Nodes + 1) // +1 trainer node
+	env := des.NewEnv()
+	params := costmodel.Default()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	model := costmodel.New(env, spec, params)
+
+	horizon := float64(cfg.TrainIters) * cfg.TrainIterS * 10 // generous cap
+	var fetchTime stats.Welford
+
+	// Simulation components: one per node, staging locally every write
+	// period. For the file-system backend these writes land on the shared
+	// Lustre model and contribute real MDS/OST load.
+	for node := 0; node < cfg.Nodes; node++ {
+		node := node
+		env.Spawn("sim", func(p *des.Proc) {
+			period := float64(cfg.WritePeriod) * cfg.SimIterS
+			for p.Now() < horizon {
+				p.Sleep(period)
+				model.LocalWrite(p, cfg.Backend, node, cfg.SizeMB)
+			}
+		})
+	}
+
+	// Trainer: compute for a read period, then a blocking ensemble read
+	// of one array from every simulation. Progress is tracked per period
+	// so the exec/iter metric stays correct even when a slow backend
+	// (Redis at the largest sizes) does not finish within the horizon.
+	var lastPeriodEnd float64
+	completedPeriods := 0
+	env.Spawn("trainer", func(p *des.Proc) {
+		periods := cfg.TrainIters / cfg.ReadPeriod
+		for i := 0; i < periods; i++ {
+			p.Sleep(float64(cfg.ReadPeriod) * cfg.TrainIterS)
+			d := model.FetchAll(p, cfg.Backend, cfg.Nodes, cfg.SizeMB)
+			fetchTime.Add(d)
+			lastPeriodEnd = p.Now()
+			completedPeriods++
+		}
+	})
+	env.RunUntil(horizon)
+	env.Shutdown() // release simulation processes still parked
+
+	execPerIter := 0.0
+	if completedPeriods > 0 {
+		execPerIter = lastPeriodEnd / float64(completedPeriods*cfg.ReadPeriod)
+	}
+	return Fig6Point{
+		Nodes:        cfg.Nodes,
+		Backend:      cfg.Backend,
+		SizeMB:       cfg.SizeMB,
+		ExecPerIterS: execPerIter,
+		FetchMeanS:   fetchTime.Mean(),
+	}
+}
+
+// Fig6Sizes spans the paper's per-process data-size axis.
+var Fig6Sizes = []float64{0.4, 1, 4, 10, 32, 128}
+
+// Fig6NodeCounts are the two ensemble scales of Fig 6.
+var Fig6NodeCounts = []int{8, 128}
+
+// RunFig6Sweep runs the full grid at one node count.
+func RunFig6Sweep(nodes, trainIters int) []Fig6Point {
+	var points []Fig6Point
+	for _, b := range Pattern2Backends {
+		for _, size := range Fig6Sizes {
+			points = append(points, RunFig6(Fig6Config{
+				Nodes: nodes, Backend: b, SizeMB: size, TrainIters: trainIters,
+			}))
+		}
+	}
+	return points
+}
+
+// PrintFig6 renders Fig-6-style rows.
+func PrintFig6(w io.Writer, nodes int, points []Fig6Point) {
+	fmt.Fprintf(w, "Fig 6 — Pattern 2 training runtime per iteration, %d simulation nodes\n", nodes)
+	fmt.Fprintf(w, "%-12s %10s %18s %16s\n", "backend", "size(MB)", "exec/iter(s)", "fetch-mean(s)")
+	for _, pt := range points {
+		if pt.Nodes != nodes {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %10.2f %18.4f %16.4f\n",
+			pt.Backend, pt.SizeMB, pt.ExecPerIterS, pt.FetchMeanS)
+	}
+}

@@ -1,0 +1,228 @@
+// Package fskv implements the sharded file-backed key-value store the
+// paper uses for its node-local and parallel-file-system backends (§3.2):
+// keys are hashed with CRC32 to pick a shard directory, and every write
+// goes to a temporary file that is atomically renamed to its final
+// destination (key.pickle in the original; key.val here) so readers never
+// observe partial values.
+//
+// The same implementation serves two backends: pointed at a tmpfs
+// directory it is the "node-local" store; pointed at a shared directory it
+// is the "file system" (Lustre-style) store. The paper scales the shard
+// count linearly with node count; callers control that through Shards.
+package fskv
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("fskv: key not found")
+
+// valueExt is the suffix for committed values (the original uses .pickle).
+const valueExt = ".val"
+
+// Store is a sharded key-value store rooted at a directory. It is safe
+// for concurrent use by multiple goroutines and multiple processes: all
+// cross-writer coordination happens through atomic rename.
+type Store struct {
+	root   string
+	shards int
+}
+
+// Open creates (if necessary) and returns a store rooted at dir with the
+// given shard count (>= 1). Reopening an existing root with the same
+// shard count sees all previously committed values.
+func Open(dir string, shards int) (*Store, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("fskv: shard count %d < 1", shards)
+	}
+	for i := 0; i < shards; i++ {
+		if err := os.MkdirAll(shardPath(dir, i), 0o755); err != nil {
+			return nil, fmt.Errorf("fskv: create shard %d: %w", i, err)
+		}
+	}
+	return &Store{root: dir, shards: shards}, nil
+}
+
+// Root returns the root directory.
+func (s *Store) Root() string { return s.root }
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return s.shards }
+
+func shardPath(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("shard%04d", i))
+}
+
+// Shard returns the shard index for key: CRC32(IEEE) mod shards, matching
+// the paper's design.
+func (s *Store) Shard(key string) int {
+	return int(crc32.ChecksumIEEE([]byte(key)) % uint32(s.shards))
+}
+
+// maxNameLen caps the escaped-key filename; longer keys fall back to a
+// hashed name (most filesystems limit names to 255 bytes).
+const maxNameLen = 200
+
+// longPrefix marks hashed filenames for keys too long to escape inline.
+const longPrefix = "long-"
+
+// keyExt is the suffix of the companion file holding the full key for
+// hashed names, so Keys can recover them.
+const keyExt = ".key"
+
+// fileName returns the base name (without extension) under which key is
+// stored, and whether the hashed fallback was used.
+func fileName(key string) (name string, hashed bool) {
+	esc := url.PathEscape(key)
+	if len(esc) <= maxNameLen {
+		return esc, false
+	}
+	sum := sha256.Sum256([]byte(key))
+	return longPrefix + hex.EncodeToString(sum[:]), true
+}
+
+// path returns the final value path for key. Keys are percent-escaped so
+// arbitrary strings (including separators) are valid; very long keys use
+// a content-hashed filename with a companion .key file.
+func (s *Store) path(key string) string {
+	name, _ := fileName(key)
+	return filepath.Join(shardPath(s.root, s.Shard(key)), name+valueExt)
+}
+
+// Put atomically writes value under key: write to a temp file in the
+// shard, fsync-free rename over the final name. Concurrent writers to the
+// same key leave one complete value; readers never see partial data.
+func (s *Store) Put(key string, value []byte) error {
+	final := s.path(key)
+	if name, hashed := fileName(key); hashed {
+		// Companion file lets Keys recover the original key. Written
+		// first so any visible value has a resolvable key.
+		keyFile := filepath.Join(filepath.Dir(final), name+keyExt)
+		if err := os.WriteFile(keyFile, []byte(key), 0o644); err != nil {
+			return fmt.Errorf("fskv: put %q: %w", key, err)
+		}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(final), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fskv: put %q: %w", key, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(value); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("fskv: put %q: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fskv: put %q: %w", key, err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fskv: put %q: %w", key, err)
+	}
+	return nil
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (s *Store) Get(key string) ([]byte, error) {
+	data, err := os.ReadFile(s.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fskv: get %q: %w", key, err)
+	}
+	return data, nil
+}
+
+// Exists reports whether key has a committed value.
+func (s *Store) Exists(key string) bool {
+	_, err := os.Stat(s.path(key))
+	return err == nil
+}
+
+// Delete removes key. Deleting a missing key is not an error, mirroring
+// the idempotent clean-up semantics of the paper's clean_staged_data.
+func (s *Store) Delete(key string) error {
+	final := s.path(key)
+	err := os.Remove(final)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("fskv: delete %q: %w", key, err)
+	}
+	if name, hashed := fileName(key); hashed {
+		os.Remove(filepath.Join(filepath.Dir(final), name+keyExt))
+	}
+	return nil
+}
+
+// Keys returns every committed key, in no particular order. Temporary
+// files from in-flight writes are skipped.
+func (s *Store) Keys() ([]string, error) {
+	var keys []string
+	for i := 0; i < s.shards; i++ {
+		entries, err := os.ReadDir(shardPath(s.root, i))
+		if err != nil {
+			return nil, fmt.Errorf("fskv: keys: %w", err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, valueExt) {
+				continue
+			}
+			base := strings.TrimSuffix(name, valueExt)
+			if strings.HasPrefix(base, longPrefix) {
+				raw, err := os.ReadFile(filepath.Join(shardPath(s.root, i), base+keyExt))
+				if err != nil {
+					continue // orphaned hashed value
+				}
+				keys = append(keys, string(raw))
+				continue
+			}
+			key, err := url.PathUnescape(base)
+			if err != nil {
+				continue // foreign file in the shard dir
+			}
+			keys = append(keys, key)
+		}
+	}
+	return keys, nil
+}
+
+// Len returns the number of committed keys.
+func (s *Store) Len() (int, error) {
+	keys, err := s.Keys()
+	if err != nil {
+		return 0, err
+	}
+	return len(keys), nil
+}
+
+// Clean removes every committed value and stray temp file, keeping the
+// shard directories so the store stays usable.
+func (s *Store) Clean() error {
+	for i := 0; i < s.shards; i++ {
+		dir := shardPath(s.root, i)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("fskv: clean: %w", err)
+		}
+		for _, e := range entries {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return fmt.Errorf("fskv: clean: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Destroy removes the entire store directory tree.
+func (s *Store) Destroy() error { return os.RemoveAll(s.root) }

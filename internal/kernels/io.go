@@ -1,0 +1,227 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"simaibench/internal/mpi"
+)
+
+// payload builds size[0] float64s of deterministic data for I/O kernels.
+func payload(size []int) []byte {
+	n := dim(size, 0, 1<<14)
+	buf := make([]byte, 8*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(float64(i)))
+	}
+	return buf
+}
+
+// ioPath returns the file used by rank r in ctx.Dir.
+func ioPath(ctx *Context, r int) string {
+	return filepath.Join(ctx.Dir, fmt.Sprintf("kernel-io-rank%d.bin", r))
+}
+
+func requireDir(ctx *Context, name string) error {
+	if ctx.Dir == "" {
+		return fmt.Errorf("kernels: %s needs Context.Dir", name)
+	}
+	return nil
+}
+
+// writeSingleRank has rank 0 write the whole payload; other ranks idle,
+// like the paper's "a single process writes data to a file".
+type writeSingleRank struct{}
+
+func (writeSingleRank) Name() string { return "WriteSingleRank" }
+
+func (writeSingleRank) Run(ctx *Context, size []int) error {
+	if err := requireDir(ctx, "WriteSingleRank"); err != nil {
+		return err
+	}
+	if ctx.rank() != 0 {
+		return nil
+	}
+	return os.WriteFile(ioPath(ctx, 0), payload(size), 0o644)
+}
+
+// writeNonMPI has every rank write its own file independently ("writes
+// data to a file without MPI-IO").
+type writeNonMPI struct{}
+
+func (writeNonMPI) Name() string { return "WriteNonMPI" }
+
+func (writeNonMPI) Run(ctx *Context, size []int) error {
+	if err := requireDir(ctx, "WriteNonMPI"); err != nil {
+		return err
+	}
+	return os.WriteFile(ioPath(ctx, ctx.rank()), payload(size), 0o644)
+}
+
+// writeWithMPI emulates an MPI-IO collective write: ranks gather their
+// blocks to rank 0, which writes one shared file.
+type writeWithMPI struct{}
+
+func (writeWithMPI) Name() string { return "WriteWithMPI" }
+
+func (writeWithMPI) Run(ctx *Context, size []int) error {
+	if err := requireDir(ctx, "WriteWithMPI"); err != nil {
+		return err
+	}
+	if ctx.Comm == nil {
+		return os.WriteFile(filepath.Join(ctx.Dir, "kernel-io-shared.bin"), payload(size), 0o644)
+	}
+	n := dim(size, 0, 1<<14)
+	local := make([]float64, n)
+	for i := range local {
+		local[i] = float64(ctx.Comm.Rank()*n + i)
+	}
+	all := ctx.Comm.Gather(0, local)
+	if ctx.Comm.Rank() == 0 {
+		buf := make([]byte, 8*len(all))
+		for i, x := range all {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+		}
+		if err := os.WriteFile(filepath.Join(ctx.Dir, "kernel-io-shared.bin"), buf, 0o644); err != nil {
+			return err
+		}
+	}
+	ctx.Comm.Barrier() // collective completes together
+	return nil
+}
+
+// readNonMPI has every rank read its own file (written by WriteNonMPI or
+// WriteSingleRank for rank 0).
+type readNonMPI struct{}
+
+func (readNonMPI) Name() string { return "ReadNonMPI" }
+
+func (readNonMPI) Run(ctx *Context, size []int) error {
+	if err := requireDir(ctx, "ReadNonMPI"); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(ioPath(ctx, ctx.rank()))
+	if err != nil {
+		return fmt.Errorf("kernels: ReadNonMPI: %w", err)
+	}
+	if len(data) > 0 {
+		sink = float64(data[0])
+	}
+	return nil
+}
+
+// readWithMPI emulates an MPI-IO collective read: rank 0 reads the
+// shared file and scatters equal blocks.
+type readWithMPI struct{}
+
+func (readWithMPI) Name() string { return "ReadWithMPI" }
+
+func (readWithMPI) Run(ctx *Context, size []int) error {
+	if err := requireDir(ctx, "ReadWithMPI"); err != nil {
+		return err
+	}
+	shared := filepath.Join(ctx.Dir, "kernel-io-shared.bin")
+	if ctx.Comm == nil {
+		data, err := os.ReadFile(shared)
+		if err != nil {
+			return fmt.Errorf("kernels: ReadWithMPI: %w", err)
+		}
+		if len(data) > 0 {
+			sink = float64(data[0])
+		}
+		return nil
+	}
+	var all []float64
+	if ctx.Comm.Rank() == 0 {
+		data, err := os.ReadFile(shared)
+		if err != nil {
+			return fmt.Errorf("kernels: ReadWithMPI: %w", err)
+		}
+		all = make([]float64, len(data)/8)
+		for i := range all {
+			all[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+		// Trim so the scatter divides evenly.
+		all = all[:len(all)/ctx.Comm.Size()*ctx.Comm.Size()]
+	}
+	// Broadcast total length, then scatter.
+	lenBuf := []float64{float64(len(all))}
+	ctx.Comm.Bcast(0, lenBuf)
+	if ctx.Comm.Rank() != 0 {
+		all = make([]float64, int(lenBuf[0]))
+	}
+	chunk := ctx.Comm.Scatter(0, all)
+	if len(chunk) > 0 {
+		sink = chunk[0]
+	}
+	return nil
+}
+
+// allReduce performs an all-reduce over size[0] elements.
+type allReduce struct{}
+
+func (allReduce) Name() string { return "AllReduce" }
+
+func (allReduce) Run(ctx *Context, size []int) error {
+	if ctx.Comm == nil {
+		return fmt.Errorf("kernels: AllReduce needs Context.Comm")
+	}
+	n := dim(size, 0, 1<<14)
+	buf := make([]float64, n)
+	for i := range buf {
+		buf[i] = float64(ctx.Comm.Rank())
+	}
+	ctx.Comm.AllReduce(mpi.Sum, buf)
+	sink = buf[0]
+	return nil
+}
+
+// allGather performs an all-gather of size[0] elements per rank.
+type allGather struct{}
+
+func (allGather) Name() string { return "AllGather" }
+
+func (allGather) Run(ctx *Context, size []int) error {
+	if ctx.Comm == nil {
+		return fmt.Errorf("kernels: AllGather needs Context.Comm")
+	}
+	n := dim(size, 0, 1<<12)
+	buf := make([]float64, n)
+	out := ctx.Comm.AllGather(buf)
+	sink = out[0]
+	return nil
+}
+
+// copyH2D models a host-to-device copy: a real memmove between two
+// buffers standing in for DDR and HBM. The byte volume is what matters
+// for the transport studies; PCIe/fabric latency belongs to the DES cost
+// models.
+type copyH2D struct{}
+
+func (copyH2D) Name() string { return "CopyHostToDevice" }
+
+func (copyH2D) Run(ctx *Context, size []int) error {
+	n := dim(size, 0, 1<<16)
+	host := deterministicMatrix(1, n, 1)
+	device := make([]float64, n)
+	copy(device, host)
+	sink = device[n-1]
+	return nil
+}
+
+// copyD2H models the reverse device-to-host copy.
+type copyD2H struct{}
+
+func (copyD2H) Name() string { return "CopyDeviceToHost" }
+
+func (copyD2H) Run(ctx *Context, size []int) error {
+	n := dim(size, 0, 1<<16)
+	device := deterministicMatrix(1, n, 2)
+	host := make([]float64, n)
+	copy(host, device)
+	sink = host[n-1]
+	return nil
+}

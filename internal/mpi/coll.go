@@ -1,0 +1,316 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// Op is a reduction operator for Reduce/AllReduce.
+type Op int
+
+// Reduction operators.
+const (
+	Sum Op = iota
+	Prod
+	Max
+	Min
+)
+
+func (op Op) apply(a, b float64) float64 {
+	switch op {
+	case Sum:
+		return a + b
+	case Prod:
+		return a * b
+	case Max:
+		return math.Max(a, b)
+	case Min:
+		return math.Min(a, b)
+	}
+	panic("mpi: unknown op")
+}
+
+// String returns the operator name.
+func (op Op) String() string {
+	switch op {
+	case Sum:
+		return "sum"
+	case Prod:
+		return "prod"
+	case Max:
+		return "max"
+	case Min:
+		return "min"
+	}
+	return "unknown"
+}
+
+// collState holds the rendezvous structures for collective operations:
+// a two-phase cyclic barrier plus a shared contribution slot array. One
+// collective may be in flight at a time per world, matching MPI's
+// requirement that all ranks call collectives in the same order. The
+// draining flag is load-bearing: a fast rank finishing collective k must
+// not deposit its contribution for collective k+1 until every rank has
+// picked up collective k's result, or slots and generations desynchronize.
+type collState struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	arrived  int   // ranks deposited in the current collective
+	exited   int   // ranks that picked up the current result
+	gen      int   // barrier generation
+	draining bool  // result published, waiting for all ranks to exit
+	slots    []any // per-rank contribution for the current collective
+	out      any   // combined result, valid while draining
+	dead     bool
+}
+
+func newCollState(n int) *collState {
+	c := &collState{n: n, slots: make([]any, n)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *collState) kill() {
+	c.mu.Lock()
+	c.dead = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// rendezvous deposits this rank's contribution, blocks until all n ranks
+// have arrived, computes combine (on the last arriver) exactly once, and
+// returns the combined result to every rank.
+func (c *collState) rendezvous(rank int, contribution any, combine func(slots []any) any) any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Entry phase: the previous collective must be fully drained before
+	// this rank may deposit for the next one.
+	for c.draining {
+		if c.dead {
+			panic("mpi: world killed during collective")
+		}
+		c.cond.Wait()
+	}
+	gen := c.gen
+	c.slots[rank] = contribution
+	c.arrived++
+	if c.arrived == c.n {
+		c.out = combine(c.slots)
+		c.gen++
+		c.draining = true
+		c.cond.Broadcast()
+	} else {
+		for gen == c.gen {
+			if c.dead {
+				panic("mpi: world killed during collective")
+			}
+			c.cond.Wait()
+		}
+	}
+	out := c.out
+	// Exit phase: the last rank out resets state and reopens entry.
+	c.exited++
+	if c.exited == c.n {
+		c.arrived, c.exited = 0, 0
+		for i := range c.slots {
+			c.slots[i] = nil
+		}
+		c.out = nil
+		c.draining = false
+		c.cond.Broadcast()
+	}
+	return out
+}
+
+// Barrier blocks until every rank in the world has entered it.
+func (c *Comm) Barrier() {
+	c.world.coll.rendezvous(c.rank, nil, func([]any) any { return nil })
+}
+
+// Bcast broadcasts root's buffer to all ranks. Every rank passes its own
+// buf; non-root buffers are overwritten in place (lengths must match).
+func (c *Comm) Bcast(root int, buf []float64) {
+	out := c.world.coll.rendezvous(c.rank, buf, func(slots []any) any {
+		src := slots[root].([]float64)
+		cp := make([]float64, len(src))
+		copy(cp, src)
+		return cp
+	})
+	copy(buf, out.([]float64))
+}
+
+// AllReduce reduces buf element-wise across all ranks with op and writes
+// the result back into buf on every rank.
+func (c *Comm) AllReduce(op Op, buf []float64) {
+	contribution := make([]float64, len(buf))
+	copy(contribution, buf)
+	out := c.world.coll.rendezvous(c.rank, contribution, func(slots []any) any {
+		acc := make([]float64, len(buf))
+		copy(acc, slots[0].([]float64))
+		for r := 1; r < len(slots); r++ {
+			xs := slots[r].([]float64)
+			for i := range acc {
+				acc[i] = op.apply(acc[i], xs[i])
+			}
+		}
+		return acc
+	})
+	copy(buf, out.([]float64))
+}
+
+// Reduce reduces to root only; other ranks receive buf unchanged and the
+// result slice is returned only on root (nil elsewhere).
+func (c *Comm) Reduce(op Op, root int, buf []float64) []float64 {
+	contribution := make([]float64, len(buf))
+	copy(contribution, buf)
+	out := c.world.coll.rendezvous(c.rank, contribution, func(slots []any) any {
+		acc := make([]float64, len(buf))
+		copy(acc, slots[0].([]float64))
+		for r := 1; r < len(slots); r++ {
+			xs := slots[r].([]float64)
+			for i := range acc {
+				acc[i] = op.apply(acc[i], xs[i])
+			}
+		}
+		return acc
+	})
+	if c.rank == root {
+		return out.([]float64)
+	}
+	return nil
+}
+
+// AllGather concatenates every rank's buf in rank order and returns the
+// full vector on every rank.
+func (c *Comm) AllGather(buf []float64) []float64 {
+	contribution := make([]float64, len(buf))
+	copy(contribution, buf)
+	out := c.world.coll.rendezvous(c.rank, contribution, func(slots []any) any {
+		var all []float64
+		for _, s := range slots {
+			all = append(all, s.([]float64)...)
+		}
+		return all
+	})
+	src := out.([]float64)
+	res := make([]float64, len(src))
+	copy(res, src)
+	return res
+}
+
+// Gather concatenates every rank's buf in rank order on root; other ranks
+// get nil.
+func (c *Comm) Gather(root int, buf []float64) []float64 {
+	contribution := make([]float64, len(buf))
+	copy(contribution, buf)
+	out := c.world.coll.rendezvous(c.rank, contribution, func(slots []any) any {
+		var all []float64
+		for _, s := range slots {
+			all = append(all, s.([]float64)...)
+		}
+		return all
+	})
+	if c.rank == root {
+		src := out.([]float64)
+		res := make([]float64, len(src))
+		copy(res, src)
+		return res
+	}
+	return nil
+}
+
+// Scatter splits root's data into world-size equal chunks and returns this
+// rank's chunk on every rank. len(data) must be a multiple of Size on
+// root; other ranks may pass nil.
+func (c *Comm) Scatter(root int, data []float64) []float64 {
+	out := c.world.coll.rendezvous(c.rank, data, func(slots []any) any {
+		src := slots[root].([]float64)
+		cp := make([]float64, len(src))
+		copy(cp, src)
+		return cp
+	})
+	full := out.([]float64)
+	n := c.world.size
+	if len(full)%n != 0 {
+		panic("mpi: scatter length not divisible by world size")
+	}
+	chunk := len(full) / n
+	res := make([]float64, chunk)
+	copy(res, full[c.rank*chunk:(c.rank+1)*chunk])
+	return res
+}
+
+// encodeFloat64s serializes a float64 slice little-endian.
+func encodeFloat64s(xs []float64) []byte {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return buf
+}
+
+// decodeFloat64s is the inverse of encodeFloat64s.
+func decodeFloat64s(b []byte) []float64 {
+	xs := make([]float64, len(b)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return xs
+}
+
+// AllToAll exchanges equal chunks between every pair of ranks: rank i
+// sends buf[j*chunk:(j+1)*chunk] to rank j and returns the concatenation
+// of the chunks addressed to it, in source-rank order. len(buf) must be
+// a multiple of Size.
+func (c *Comm) AllToAll(buf []float64) []float64 {
+	n := c.world.size
+	if len(buf)%n != 0 {
+		panic("mpi: alltoall length not divisible by world size")
+	}
+	contribution := make([]float64, len(buf))
+	copy(contribution, buf)
+	out := c.world.coll.rendezvous(c.rank, contribution, func(slots []any) any {
+		// Copy the slot container: ranks slice their columns after the
+		// rendezvous, by which time the shared slots array has been
+		// reset for the next collective.
+		return append([]any(nil), slots...)
+	})
+	slots := out.([]any)
+	chunk := len(buf) / n
+	res := make([]float64, 0, len(buf))
+	for src := 0; src < n; src++ {
+		data := slots[src].([]float64)
+		res = append(res, data[c.rank*chunk:(c.rank+1)*chunk]...)
+	}
+	return res
+}
+
+// ReduceScatter reduces buf element-wise across ranks with op, then
+// scatters the result: rank i receives element block i. len(buf) must be
+// a multiple of Size.
+func (c *Comm) ReduceScatter(op Op, buf []float64) []float64 {
+	n := c.world.size
+	if len(buf)%n != 0 {
+		panic("mpi: reducescatter length not divisible by world size")
+	}
+	contribution := make([]float64, len(buf))
+	copy(contribution, buf)
+	out := c.world.coll.rendezvous(c.rank, contribution, func(slots []any) any {
+		acc := make([]float64, len(buf))
+		copy(acc, slots[0].([]float64))
+		for r := 1; r < len(slots); r++ {
+			xs := slots[r].([]float64)
+			for i := range acc {
+				acc[i] = op.apply(acc[i], xs[i])
+			}
+		}
+		return acc
+	})
+	full := out.([]float64)
+	chunk := len(buf) / n
+	res := make([]float64, chunk)
+	copy(res, full[c.rank*chunk:(c.rank+1)*chunk])
+	return res
+}

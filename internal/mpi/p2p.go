@@ -1,0 +1,114 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one in-flight point-to-point payload.
+type message struct {
+	src, tag int
+	data     []byte
+}
+
+// mailbox is a per-rank queue of unmatched messages with (src, tag)
+// matching, including wildcards, in arrival order per MPI's
+// non-overtaking rule.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+	dead    bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m message) {
+	b.mu.Lock()
+	b.pending = append(b.pending, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// take blocks until a message matching (src, tag) is present and removes
+// the earliest match.
+func (b *mailbox) take(src, tag int) message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.pending {
+			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				b.pending = append(b.pending[:i], b.pending[i+1:]...)
+				return m
+			}
+		}
+		if b.dead {
+			panic("mpi: world killed while receiving")
+		}
+		b.cond.Wait()
+	}
+}
+
+// probe reports whether a matching message is queued, without removing it.
+func (b *mailbox) probe(src, tag int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, m := range b.pending {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *mailbox) kill() {
+	b.mu.Lock()
+	b.dead = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Send delivers data to dst with the given tag. Sends are eager and never
+// block. The payload is copied, so the caller may reuse its buffer.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: buf})
+}
+
+// Recv blocks until a message matching (src, tag) arrives — AnySource and
+// AnyTag act as wildcards — and returns its payload and actual source.
+func (c *Comm) Recv(src, tag int) (data []byte, from int) {
+	m := c.world.boxes[c.rank].take(src, tag)
+	return m.data, m.src
+}
+
+// Probe reports whether a matching message is already queued.
+func (c *Comm) Probe(src, tag int) bool {
+	return c.world.boxes[c.rank].probe(src, tag)
+}
+
+// SendFloat64s sends a float64 slice (little-endian encoding).
+func (c *Comm) SendFloat64s(dst, tag int, xs []float64) {
+	c.Send(dst, tag, encodeFloat64s(xs))
+}
+
+// RecvFloat64s receives a float64 slice from (src, tag).
+func (c *Comm) RecvFloat64s(src, tag int) ([]float64, int) {
+	data, from := c.Recv(src, tag)
+	return decodeFloat64s(data), from
+}
+
+// SendRecv performs a combined send to dst and receive from src, a common
+// shift pattern. Eager sends make the ordering deadlock-free.
+func (c *Comm) SendRecv(dst, sendTag int, data []byte, src, recvTag int) ([]byte, int) {
+	c.Send(dst, sendTag, data)
+	return c.Recv(src, recvTag)
+}

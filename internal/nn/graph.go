@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Graph is a fixed undirected graph with symmetric degree normalization
+// — the Â = D^{-1/2}(A+I)D^{-1/2} operator of a graph convolutional
+// network. The paper's target science case for Pattern 1 trains a GNN
+// surrogate on mesh data; GraphConv extends the feed-forward AI
+// component toward that architecture (the paper lists it as future
+// work: "expand these capabilities to include more advanced
+// architectures, such as graph ... neural networks").
+type Graph struct {
+	n   int
+	adj [][]int     // neighbor lists including self-loop
+	w   [][]float64 // normalized edge weights, parallel to adj
+}
+
+// NewGraph builds a normalized graph over n nodes from an undirected
+// edge list. Self-loops are added automatically; duplicate and
+// out-of-range edges are rejected.
+func NewGraph(n int, edges [][2]int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("nn: graph needs >= 1 node")
+	}
+	neighbors := make([]map[int]bool, n)
+	for i := range neighbors {
+		neighbors[i] = map[int]bool{i: true} // self-loop
+	}
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || a >= n || b < 0 || b >= n {
+			return nil, fmt.Errorf("nn: edge (%d,%d) out of range [0,%d)", a, b, n)
+		}
+		neighbors[a][b] = true
+		neighbors[b][a] = true
+	}
+	g := &Graph{n: n, adj: make([][]int, n), w: make([][]float64, n)}
+	deg := make([]float64, n)
+	for i, ns := range neighbors {
+		deg[i] = float64(len(ns))
+	}
+	for i, ns := range neighbors {
+		for j := range ns {
+			g.adj[i] = append(g.adj[i], j)
+			g.w[i] = append(g.w[i], 1/math.Sqrt(deg[i]*deg[j]))
+		}
+	}
+	return g, nil
+}
+
+// Nodes returns the node count.
+func (g *Graph) Nodes() int { return g.n }
+
+// aggregate computes out[i] = Σ_j Â[i,j]·x[j] for feature matrices laid
+// out as rows of per-node features.
+func (g *Graph) aggregate(x [][]float64) [][]float64 {
+	out := make([][]float64, g.n)
+	width := len(x[0])
+	for i := 0; i < g.n; i++ {
+		row := make([]float64, width)
+		for k, j := range g.adj[i] {
+			wij := g.w[i][k]
+			xj := x[j]
+			for f := range row {
+				row[f] += wij * xj[f]
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// GraphConv is one GCN layer: Y = (Â X) Wᵀ + b, where X is the n×in
+// node-feature matrix (presented as a "batch" of n node rows, matching
+// the Layer interface).
+type GraphConv struct {
+	graph   *Graph
+	linear  *Linear
+	lastAgg [][]float64
+}
+
+// NewGraphConv builds a GCN layer over g with the given feature widths.
+func NewGraphConv(g *Graph, in, out int, rng *rand.Rand) *GraphConv {
+	return &GraphConv{graph: g, linear: NewLinear(in, out, rng)}
+}
+
+// Forward aggregates neighbor features then applies the dense transform.
+// len(x) must equal the graph's node count.
+func (gc *GraphConv) Forward(x [][]float64) [][]float64 {
+	if len(x) != gc.graph.n {
+		panic(fmt.Sprintf("nn: graphconv got %d node rows, graph has %d", len(x), gc.graph.n))
+	}
+	gc.lastAgg = gc.graph.aggregate(x)
+	return gc.linear.Forward(gc.lastAgg)
+}
+
+// Backward propagates through the dense transform and the (symmetric)
+// aggregation: dX = Âᵀ (dAgg) = Â (dAgg) since Â is symmetric.
+func (gc *GraphConv) Backward(grad [][]float64) [][]float64 {
+	dAgg := gc.linear.Backward(grad)
+	return gc.graph.aggregate(dAgg)
+}
+
+// Params returns the layer's weights.
+func (gc *GraphConv) Params() []*Param { return gc.linear.Params() }
+
+// NewGCN stacks GraphConv layers with ReLUs between, mirroring NewMLP.
+func NewGCN(g *Graph, widths []int, rng *rand.Rand) (*MLP, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("nn: GCN needs >= 2 widths, got %v", widths)
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(widths); i++ {
+		if widths[i] < 1 || widths[i+1] < 1 {
+			return nil, fmt.Errorf("nn: nonpositive width in %v", widths)
+		}
+		m.layers = append(m.layers, NewGraphConv(g, widths[i], widths[i+1], rng))
+		if i+2 < len(widths) {
+			m.layers = append(m.layers, &ReLU{})
+		}
+	}
+	return m, nil
+}

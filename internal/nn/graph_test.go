@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// path4 returns a 4-node path graph 0-1-2-3.
+func path4(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphValidation(t *testing.T) {
+	if _, err := NewGraph(0, nil); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	if _, err := NewGraph(2, [][2]int{{0, 5}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestAggregateNormalization(t *testing.T) {
+	// Isolated nodes (self-loop only): Â is the identity.
+	g, err := NewGraph(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	out := g.aggregate(x)
+	for i := range x {
+		for f := range x[i] {
+			if math.Abs(out[i][f]-x[i][f]) > 1e-12 {
+				t.Fatalf("identity aggregation broken: %v", out)
+			}
+		}
+	}
+}
+
+func TestAggregateMixesNeighbors(t *testing.T) {
+	g := path4(t)
+	// One-hot feature on node 0 must leak to neighbor 1 but not node 3.
+	x := [][]float64{{1}, {0}, {0}, {0}}
+	out := g.aggregate(x)
+	if out[1][0] <= 0 {
+		t.Fatal("neighbor got no contribution")
+	}
+	if out[3][0] != 0 {
+		t.Fatal("non-neighbor received contribution in one hop")
+	}
+	if out[0][0] <= out[1][0]/10 {
+		t.Fatal("self contribution unexpectedly small")
+	}
+}
+
+func TestAggregateSpectrallyBounded(t *testing.T) {
+	// Symmetric normalization bounds Â's spectral norm by 1: aggregation
+	// never expands the L2 norm of a feature vector. (Row sums may
+	// exceed 1 for heterogeneous degrees; the L2 bound is the real
+	// invariant.)
+	g := path4(t)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		x := make([][]float64, 4)
+		var inNorm float64
+		for i := range x {
+			x[i] = []float64{rng.NormFloat64()}
+			inNorm += x[i][0] * x[i][0]
+		}
+		out := g.aggregate(x)
+		var outNorm float64
+		for i := range out {
+			outNorm += out[i][0] * out[i][0]
+		}
+		if outNorm > inNorm*(1+1e-9) {
+			t.Fatalf("aggregation expanded L2 norm: %v -> %v", inNorm, outNorm)
+		}
+	}
+}
+
+func TestGraphConvShapes(t *testing.T) {
+	g := path4(t)
+	rng := rand.New(rand.NewSource(1))
+	gc := NewGraphConv(g, 3, 5, rng)
+	x := make([][]float64, 4)
+	for i := range x {
+		x[i] = []float64{1, 2, 3}
+	}
+	out := gc.Forward(x)
+	if len(out) != 4 || len(out[0]) != 5 {
+		t.Fatalf("output shape %dx%d, want 4x5", len(out), len(out[0]))
+	}
+}
+
+func TestGraphConvWrongNodeCountPanics(t *testing.T) {
+	g := path4(t)
+	gc := NewGraphConv(g, 2, 2, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong node count did not panic")
+		}
+	}()
+	gc.Forward([][]float64{{1, 2}})
+}
+
+func TestGCNGradientCheck(t *testing.T) {
+	// Backprop through aggregation + dense layers must match numerical
+	// differentiation, same as the MLP gradient check.
+	g := path4(t)
+	rng := rand.New(rand.NewSource(42))
+	m, err := NewGCN(g, []int{2, 3, 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := [][]float64{{0.5, -0.2}, {0.1, 0.9}, {-0.7, 0.3}, {0.2, 0.2}}
+	target := [][]float64{{1}, {0}, {1}, {0}}
+
+	m.ZeroGrad()
+	_, lossGrad := MSELoss(m.Forward(x), target)
+	m.Backward(lossGrad)
+
+	for _, p := range m.Params() {
+		for i := range p.W {
+			want := numericalGrad(m, x, target, p, i)
+			got := p.Grad[i]
+			if math.Abs(got-want) > 1e-5*(1+math.Abs(want)) {
+				t.Fatalf("%s[%d]: analytic %v vs numerical %v", p.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestGCNInputGradient(t *testing.T) {
+	// dL/dX through the symmetric aggregation.
+	g := path4(t)
+	rng := rand.New(rand.NewSource(5))
+	m, _ := NewGCN(g, []int{2, 1}, rng)
+	x := [][]float64{{0.4, 0.1}, {-0.3, 0.8}, {0.6, -0.6}, {0.05, 0.2}}
+	target := [][]float64{{0}, {1}, {0}, {1}}
+
+	m.ZeroGrad()
+	_, lossGrad := MSELoss(m.Forward(x), target)
+	dx := m.Backward(lossGrad)
+
+	const eps = 1e-6
+	for n := range x {
+		for f := range x[n] {
+			orig := x[n][f]
+			x[n][f] = orig + eps
+			lp, _ := MSELoss(m.Forward(x), target)
+			x[n][f] = orig - eps
+			lm, _ := MSELoss(m.Forward(x), target)
+			x[n][f] = orig
+			want := (lp - lm) / (2 * eps)
+			if math.Abs(dx[n][f]-want) > 1e-5*(1+math.Abs(want)) {
+				t.Fatalf("dx[%d][%d]: analytic %v vs numerical %v", n, f, dx[n][f], want)
+			}
+		}
+	}
+}
+
+func TestGCNTrainsOnGraphTask(t *testing.T) {
+	// Learn to predict each node's degree parity from one-hot features —
+	// requires using graph structure.
+	g, err := NewGraph(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	m, _ := NewGCN(g, []int{6, 16, 1}, rng)
+	x := make([][]float64, 6)
+	y := make([][]float64, 6)
+	for i := range x {
+		x[i] = make([]float64, 6)
+		x[i][i] = 1
+		y[i] = []float64{float64(len(g.adj[i]) % 2)}
+	}
+	opt := SGD{LR: 0.2}
+	first, _ := MSELoss(m.Forward(x), y)
+	for epoch := 0; epoch < 2000; epoch++ {
+		m.ZeroGrad()
+		_, grad := MSELoss(m.Forward(x), y)
+		m.Backward(grad)
+		opt.Step(m.Params())
+	}
+	last, _ := MSELoss(m.Forward(x), y)
+	if last > first/5 {
+		t.Fatalf("GCN did not learn: %v -> %v", first, last)
+	}
+}
+
+func TestNewGCNValidation(t *testing.T) {
+	g := path4(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewGCN(g, []int{3}, rng); err == nil {
+		t.Fatal("single-width GCN accepted")
+	}
+	if _, err := NewGCN(g, []int{3, 0}, rng); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}

@@ -1,0 +1,494 @@
+package redis
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func newPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s := newServer(t)
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+// --- RESP codec ---
+
+func respRoundTrip(t *testing.T, v Value) Value {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(v); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, err := NewReader(&buf).Read()
+	if err != nil {
+		t.Fatalf("decode %q: %v", buf.String(), err)
+	}
+	return got
+}
+
+func TestRESPSimpleString(t *testing.T) {
+	got := respRoundTrip(t, Simple("OK"))
+	if got.Kind != KindSimple || got.Str != "OK" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRESPError(t *testing.T) {
+	got := respRoundTrip(t, Errorf("ERR boom %d", 7))
+	if got.Kind != KindError || got.Str != "ERR boom 7" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRESPInteger(t *testing.T) {
+	for _, n := range []int64{0, 1, -1, 1 << 40} {
+		got := respRoundTrip(t, Integer(n))
+		if got.Kind != KindInteger || got.Int != n {
+			t.Fatalf("int %d round-tripped to %+v", n, got)
+		}
+	}
+}
+
+func TestRESPBulkWithCRLFInside(t *testing.T) {
+	payload := []byte("line1\r\nline2\r\n$5\r\nfake!")
+	got := respRoundTrip(t, Bulk(payload))
+	if !bytes.Equal(got.Bulk, payload) {
+		t.Fatalf("binary-safe bulk broken: %q", got.Bulk)
+	}
+}
+
+func TestRESPNullBulk(t *testing.T) {
+	got := respRoundTrip(t, NullBulk())
+	if !got.IsNull() {
+		t.Fatalf("null bulk round-tripped to %+v", got)
+	}
+}
+
+func TestRESPNestedArray(t *testing.T) {
+	v := Array(BulkString("SET"), Array(Integer(1), Simple("x")), NullBulk())
+	got := respRoundTrip(t, v)
+	if len(got.Array) != 3 || len(got.Array[1].Array) != 2 || !got.Array[2].IsNull() {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRESPRejectsGarbage(t *testing.T) {
+	for _, raw := range []string{"!bad\r\n", ":\r\n", "$abc\r\n", "+no-terminator"} {
+		_, err := NewReader(strings.NewReader(raw)).Read()
+		if err == nil {
+			t.Fatalf("garbage %q accepted", raw)
+		}
+	}
+}
+
+func TestRESPBulkLengthLimit(t *testing.T) {
+	_, err := NewReader(strings.NewReader("$999999999999\r\n")).Read()
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("oversized bulk accepted: %v", err)
+	}
+}
+
+func TestPropertyRESPRoundTrip(t *testing.T) {
+	f := func(payload []byte, n int64, s string) bool {
+		s = strings.Map(func(r rune) rune { // simple strings cannot contain CR/LF
+			if r == '\r' || r == '\n' {
+				return '_'
+			}
+			return r
+		}, s)
+		v := Array(Bulk(payload), Integer(n), Simple(s))
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(v); err != nil {
+			return false
+		}
+		w.Flush()
+		got, err := NewReader(&buf).Read()
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Array[0].Bulk, payload) &&
+			got.Array[1].Int == n && got.Array[2].Str == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Server commands over TCP ---
+
+func TestPing(t *testing.T) {
+	_, c := newPair(t)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	_, c := newPair(t)
+	val := []byte("hello world")
+	if err := c.Set("greeting", val); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestGetMissingIsErrNil(t *testing.T) {
+	_, c := newPair(t)
+	_, err := c.Get("missing")
+	if !errors.Is(err, ErrNil) {
+		t.Fatalf("err = %v, want ErrNil", err)
+	}
+}
+
+func TestSetOverwrite(t *testing.T) {
+	_, c := newPair(t)
+	c.Set("k", []byte("one"))
+	c.Set("k", []byte("two"))
+	got, _ := c.Get("k")
+	if string(got) != "two" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDelAndExists(t *testing.T) {
+	_, c := newPair(t)
+	c.Set("a", []byte("1"))
+	c.Set("b", []byte("2"))
+	ok, err := c.Exists("a")
+	if err != nil || !ok {
+		t.Fatalf("exists a = %v,%v", ok, err)
+	}
+	n, err := c.Del("a", "b", "ghost")
+	if err != nil || n != 2 {
+		t.Fatalf("del = %d,%v want 2", n, err)
+	}
+	ok, _ = c.Exists("a")
+	if ok {
+		t.Fatal("a exists after del")
+	}
+}
+
+func TestKeysGlob(t *testing.T) {
+	_, c := newPair(t)
+	for _, k := range []string{"sim:0", "sim:1", "train:0"} {
+		c.Set(k, []byte("x"))
+	}
+	got, err := c.Keys("sim:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "sim:0" || got[1] != "sim:1" {
+		t.Fatalf("keys = %v", got)
+	}
+}
+
+func TestDBSizeAndFlush(t *testing.T) {
+	_, c := newPair(t)
+	for i := 0; i < 5; i++ {
+		c.Set(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	n, err := c.DBSize()
+	if err != nil || n != 5 {
+		t.Fatalf("dbsize = %d,%v", n, err)
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = c.DBSize()
+	if n != 0 {
+		t.Fatalf("dbsize after flush = %d", n)
+	}
+}
+
+func TestIncr(t *testing.T) {
+	_, c := newPair(t)
+	for want := int64(1); want <= 3; want++ {
+		got, err := c.Incr("counter")
+		if err != nil || got != want {
+			t.Fatalf("incr = %d,%v want %d", got, err, want)
+		}
+	}
+	c.Set("text", []byte("not-a-number"))
+	if _, err := c.Incr("text"); err == nil {
+		t.Fatal("INCR on text succeeded")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	_, c := newPair(t)
+	_, err := c.Do("NOSUCH")
+	if err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWrongArity(t *testing.T) {
+	_, c := newPair(t)
+	_, err := c.Do("SET", []byte("only-key"))
+	if err == nil || !strings.Contains(err.Error(), "wrong number of arguments") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBinaryValues(t *testing.T) {
+	_, c := newPair(t)
+	val := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(val)
+	c.Set("bin", val)
+	got, err := c.Get("bin")
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("binary round trip failed: %v", err)
+	}
+}
+
+func TestLargeValue8MB(t *testing.T) {
+	_, c := newPair(t)
+	val := bytes.Repeat([]byte{0xAB}, 8<<20)
+	if err := c.Set("big", val); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("big")
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatal("8MB round trip failed")
+	}
+}
+
+func TestManyClientsConcurrent(t *testing.T) {
+	s := newServer(t)
+	const clients, per = 8, 40
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < per; j++ {
+				key := fmt.Sprintf("c%d-k%d", i, j)
+				if err := c.Set(key, []byte(key)); err != nil {
+					t.Errorf("set: %v", err)
+					return
+				}
+				got, err := c.Get(key)
+				if err != nil || string(got) != key {
+					t.Errorf("get %s = %q,%v", key, got, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	c, _ := Dial(s.Addr())
+	defer c.Close()
+	n, _ := c.DBSize()
+	if n != clients*per {
+		t.Fatalf("dbsize = %d, want %d", n, clients*per)
+	}
+}
+
+func TestSharedClientConcurrent(t *testing.T) {
+	_, c := newPair(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("shared-%d", i)
+			if err := c.Set(key, []byte{byte(i)}); err != nil {
+				t.Errorf("set: %v", err)
+			}
+			got, err := c.Get(key)
+			if err != nil || got[0] != byte(i) {
+				t.Errorf("get: %v %v", got, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestServerCountsCommands(t *testing.T) {
+	s, c := newPair(t)
+	before := s.Commands()
+	c.Set("k", []byte("v"))
+	c.Get("k")
+	if got := s.Commands() - before; got != 2 {
+		t.Fatalf("command count delta = %d, want 2", got)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s := newServer(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientAfterServerClose(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s.Close()
+	if _, err := c.Get("k"); err == nil {
+		t.Fatal("request to closed server succeeded")
+	}
+}
+
+// --- Cluster ---
+
+func TestClusterShardsKeys(t *testing.T) {
+	s1, s2 := newServer(t), newServer(t)
+	cl, err := DialCluster([]string{s1.Addr(), s2.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := cl.Set(fmt.Sprintf("key-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1, _ := Dial(s1.Addr())
+	c2, _ := Dial(s2.Addr())
+	defer c1.Close()
+	defer c2.Close()
+	n1, _ := c1.DBSize()
+	n2, _ := c2.DBSize()
+	if n1+n2 != n {
+		t.Fatalf("shard sizes %d+%d != %d", n1, n2, n)
+	}
+	if n1 == 0 || n2 == 0 {
+		t.Fatalf("degenerate sharding: %d/%d", n1, n2)
+	}
+}
+
+func TestClusterGetRoutesToRightShard(t *testing.T) {
+	s1, s2 := newServer(t), newServer(t)
+	cl, err := DialCluster([]string{s1.Addr(), s2.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("rt-%d", i)
+		cl.Set(key, []byte(key))
+		got, err := cl.Get(key)
+		if err != nil || string(got) != key {
+			t.Fatalf("cluster get %s = %q,%v", key, got, err)
+		}
+	}
+	keys, err := cl.Keys("rt-*")
+	if err != nil || len(keys) != 20 {
+		t.Fatalf("cluster keys = %d,%v want 20", len(keys), err)
+	}
+	if err := cl.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ = cl.Keys("*")
+	if len(keys) != 0 {
+		t.Fatalf("keys after flush: %v", keys)
+	}
+}
+
+func TestClusterEmptyAddrs(t *testing.T) {
+	if _, err := DialCluster(nil); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+}
+
+func BenchmarkSetGet(b *testing.B) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	for _, size := range []int{1 << 10, 1 << 20} {
+		val := make([]byte, size)
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if err := c.Set("bench", val); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Get("bench"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"*", "anything/with/slashes", true},
+		{"*", "", true},
+		{"sim:*", "sim:0", true},
+		{"sim:*", "train:0", false},
+		{"data/*/x", "data/100/x", true},
+		{"data/*/x", "data/100/y", false},
+		{"k?y", "key", true},
+		{"k?y", "ky", false},
+		{"a*b*c", "axxbyyc", true},
+		{"a*b*c", "axxbyy", false},
+		{"exact", "exact", true},
+		{"exact", "exact!", false},
+	}
+	for _, tc := range cases {
+		if got := globMatch(tc.pattern, tc.s); got != tc.want {
+			t.Errorf("globMatch(%q,%q) = %v, want %v", tc.pattern, tc.s, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package redis implements a from-scratch, wire-compatible subset of the
+// Redis in-memory key-value store: the RESP2 protocol, a TCP server with
+// Redis's single-threaded command-execution model, a pipelining client,
+// and client-side sharded "cluster" deployment.
+//
+// It stands in for the production Redis that the paper's original
+// workflow (SmartSim/nekRS-ML) uses as its data-transport backend. Only
+// the command set the DataStore layer needs is implemented, but the
+// protocol framing is the real one, so the costs being benchmarked
+// (serialization, socket hops, server event-loop serialization) are the
+// same in kind as the original's.
+package redis
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Value is one RESP protocol value. Exactly one interpretation is active,
+// chosen by Kind.
+type Value struct {
+	Kind  Kind
+	Str   string  // Simple, Error
+	Int   int64   // Integer
+	Bulk  []byte  // Bulk (nil means null bulk string)
+	Array []Value // Array
+	Null  bool    // null bulk string / null array
+}
+
+// Kind discriminates RESP value types.
+type Kind int
+
+// RESP value kinds.
+const (
+	KindSimple Kind = iota
+	KindError
+	KindInteger
+	KindBulk
+	KindArray
+)
+
+// Convenience constructors.
+func Simple(s string) Value { return Value{Kind: KindSimple, Str: s} }
+func Errorf(format string, args ...any) Value {
+	return Value{Kind: KindError, Str: fmt.Sprintf(format, args...)}
+}
+func Integer(n int64) Value { return Value{Kind: KindInteger, Int: n} }
+func Bulk(b []byte) Value   { return Value{Kind: KindBulk, Bulk: b} }
+func BulkString(s string) Value {
+	return Value{Kind: KindBulk, Bulk: []byte(s)}
+}
+func NullBulk() Value         { return Value{Kind: KindBulk, Null: true} }
+func Array(vs ...Value) Value { return Value{Kind: KindArray, Array: vs} }
+
+// IsNull reports whether v is a RESP null.
+func (v Value) IsNull() bool { return v.Null }
+
+// Text returns a best-effort string form of v (bulk payload, simple
+// string, or integer digits).
+func (v Value) Text() string {
+	switch v.Kind {
+	case KindBulk:
+		return string(v.Bulk)
+	case KindSimple, KindError:
+		return v.Str
+	case KindInteger:
+		return strconv.FormatInt(v.Int, 10)
+	}
+	return ""
+}
+
+// ErrProtocol reports malformed RESP input.
+var ErrProtocol = errors.New("redis: protocol error")
+
+// maxBulkLen guards against absurd allocations from corrupt frames
+// (512 MB, Redis's own proto-max-bulk-len default).
+const maxBulkLen = 512 << 20
+
+// Writer encodes RESP values onto a stream.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter returns a RESP writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write encodes one value. Call Flush to push buffered bytes.
+func (w *Writer) Write(v Value) error {
+	switch v.Kind {
+	case KindSimple:
+		w.w.WriteByte('+')
+		w.w.WriteString(v.Str)
+	case KindError:
+		w.w.WriteByte('-')
+		w.w.WriteString(v.Str)
+	case KindInteger:
+		w.w.WriteByte(':')
+		w.w.WriteString(strconv.FormatInt(v.Int, 10))
+	case KindBulk:
+		if v.Null {
+			w.w.WriteString("$-1")
+		} else {
+			w.w.WriteByte('$')
+			w.w.WriteString(strconv.Itoa(len(v.Bulk)))
+			w.w.WriteString("\r\n")
+			w.w.Write(v.Bulk)
+		}
+	case KindArray:
+		if v.Null {
+			w.w.WriteString("*-1")
+		} else {
+			w.w.WriteByte('*')
+			w.w.WriteString(strconv.Itoa(len(v.Array)))
+			w.w.WriteString("\r\n")
+			for _, el := range v.Array {
+				if err := w.Write(el); err != nil {
+					return err
+				}
+			}
+			return nil // elements already terminated
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrProtocol, v.Kind)
+	}
+	_, err := w.w.WriteString("\r\n")
+	return err
+}
+
+// Flush pushes buffered output to the underlying stream.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes RESP values from a stream.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader returns a RESP reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Read decodes one value.
+func (r *Reader) Read() (Value, error) {
+	t, err := r.r.ReadByte()
+	if err != nil {
+		return Value{}, err
+	}
+	switch t {
+	case '+':
+		s, err := r.line()
+		return Value{Kind: KindSimple, Str: s}, err
+	case '-':
+		s, err := r.line()
+		return Value{Kind: KindError, Str: s}, err
+	case ':':
+		s, err := r.line()
+		if err != nil {
+			return Value{}, err
+		}
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: bad integer %q", ErrProtocol, s)
+		}
+		return Integer(n), nil
+	case '$':
+		n, err := r.length()
+		if err != nil {
+			return Value{}, err
+		}
+		if n < 0 {
+			return NullBulk(), nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r.r, buf); err != nil {
+			return Value{}, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return Value{}, fmt.Errorf("%w: bulk not CRLF-terminated", ErrProtocol)
+		}
+		return Bulk(buf[:n]), nil
+	case '*':
+		n, err := r.length()
+		if err != nil {
+			return Value{}, err
+		}
+		if n < 0 {
+			return Value{Kind: KindArray, Null: true}, nil
+		}
+		arr := make([]Value, n)
+		for i := range arr {
+			arr[i], err = r.Read()
+			if err != nil {
+				return Value{}, err
+			}
+		}
+		return Value{Kind: KindArray, Array: arr}, nil
+	default:
+		return Value{}, fmt.Errorf("%w: unexpected type byte %q", ErrProtocol, t)
+	}
+}
+
+// line reads one CRLF-terminated line (without the terminator).
+func (r *Reader) line() (string, error) {
+	s, err := r.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(s) < 2 || s[len(s)-2] != '\r' {
+		return "", fmt.Errorf("%w: line not CRLF-terminated", ErrProtocol)
+	}
+	return s[:len(s)-2], nil
+}
+
+// length reads a CRLF-terminated signed length.
+func (r *Reader) length() (int, error) {
+	s, err := r.line()
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad length %q", ErrProtocol, s)
+	}
+	if n > maxBulkLen {
+		return 0, fmt.Errorf("%w: length %d exceeds limit", ErrProtocol, n)
+	}
+	return n, nil
+}

@@ -1,0 +1,170 @@
+// Package stats provides the streaming statistics the evaluation section
+// reports: Welford mean/std accumulators for iteration times (Table 3),
+// event counters (Table 2), and throughput accounting for the transport
+// figures (Fig 3, 5). All statistics are computed online in O(1) space so
+// million-event simulated runs stay cheap.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Welford accumulates mean and variance online (Welford's algorithm).
+// The zero value is ready to use. Not safe for concurrent use; wrap in
+// SafeWelford when multiple goroutines record.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.sum += x
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Sum returns the running total.
+func (w *Welford) Sum() float64 { return w.sum }
+
+// Var returns the sample variance (n-1 denominator; 0 for n < 2).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min and Max return the observed extremes (0 if empty).
+func (w *Welford) Min() float64 { return w.min }
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge folds other into w (Chan et al. parallel combination), so
+// per-rank accumulators can be combined into the per-experiment
+// statistics the paper reports ("averaged over all the processes").
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n := w.n + other.n
+	d := other.mean - w.mean
+	mean := w.mean + d*float64(other.n)/float64(n)
+	m2 := w.m2 + other.m2 + d*d*float64(w.n)*float64(other.n)/float64(n)
+	w.mean, w.m2, w.n = mean, m2, n
+	w.sum += other.sum
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+}
+
+// String formats as "mean ± std (n=N)".
+func (w *Welford) String() string {
+	return fmt.Sprintf("%.4g ± %.4g (n=%d)", w.Mean(), w.Std(), w.n)
+}
+
+// SafeWelford is a mutex-guarded Welford for concurrent recording.
+type SafeWelford struct {
+	mu sync.Mutex
+	w  Welford
+}
+
+// Add records one observation.
+func (s *SafeWelford) Add(x float64) {
+	s.mu.Lock()
+	s.w.Add(x)
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy of the current accumulator.
+func (s *SafeWelford) Snapshot() Welford {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w
+}
+
+// Throughput converts (bytes, seconds) observations into the GB/s-per-
+// process numbers of Fig 3/5: each event contributes bytes/seconds, and
+// the reported value is the mean over events, matching "averaging over
+// all the processes and events".
+type Throughput struct {
+	perEvent Welford
+}
+
+// Add records one transfer event.
+func (t *Throughput) Add(bytes int64, seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	t.perEvent.Add(float64(bytes) / seconds)
+}
+
+// Events returns the number of transfer events recorded.
+func (t *Throughput) Events() int64 { return t.perEvent.N() }
+
+// MeanBps returns mean bytes/second per event.
+func (t *Throughput) MeanBps() float64 { return t.perEvent.Mean() }
+
+// MeanGBps returns mean gigabytes/second per event (decimal GB, as
+// customary for bandwidth plots).
+func (t *Throughput) MeanGBps() float64 { return t.perEvent.Mean() / 1e9 }
+
+// Merge folds another throughput accumulator in.
+func (t *Throughput) Merge(other *Throughput) { t.perEvent.Merge(&other.perEvent) }
+
+// Quantile computes the q-quantile (0..1) of a sample slice by linear
+// interpolation, used in reports; the input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[len(cp)-1]
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(cp) {
+		return cp[lo]
+	}
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Std() != 0 {
+		t.Fatalf("empty welford: %v", w)
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(5)
+	if w.Mean() != 5 || w.Std() != 0 || w.Min() != 5 || w.Max() != 5 {
+		t.Fatalf("single obs: mean=%v std=%v", w.Mean(), w.Std())
+	}
+}
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if !almostEqual(w.Var(), 32.0/7, 1e-12) {
+		t.Fatalf("var = %v, want %v", w.Var(), 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 || w.Sum() != 40 {
+		t.Fatalf("min/max/sum = %v/%v/%v", w.Min(), w.Max(), w.Sum())
+	}
+}
+
+func TestWelfordMergeMatchesCombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var all, a, b Welford
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if !almostEqual(a.Mean(), all.Mean(), 1e-9) || !almostEqual(a.Var(), all.Var(), 1e-9) {
+		t.Fatalf("merged %v vs combined %v", a, all)
+	}
+	if a.N() != all.N() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merged counts/extremes differ")
+	}
+}
+
+func TestWelfordMergeEmptySides(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(&b) // empty other: no-op
+	if a != before {
+		t.Fatal("merge with empty changed accumulator")
+	}
+	b.Merge(&a) // empty receiver: copy
+	if b.Mean() != 2 || b.N() != 2 {
+		t.Fatalf("empty.Merge: %v", b)
+	}
+}
+
+func TestSafeWelfordConcurrent(t *testing.T) {
+	var s SafeWelford
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.N() != 8000 || snap.Mean() != 1 {
+		t.Fatalf("concurrent adds: %v", snap)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	var tp Throughput
+	tp.Add(1e9, 1.0) // 1 GB/s
+	tp.Add(2e9, 1.0) // 2 GB/s
+	tp.Add(1e9, 0)   // ignored: zero duration
+	if tp.Events() != 2 {
+		t.Fatalf("events = %d, want 2", tp.Events())
+	}
+	if !almostEqual(tp.MeanGBps(), 1.5, 1e-12) {
+		t.Fatalf("mean GB/s = %v, want 1.5", tp.MeanGBps())
+	}
+}
+
+func TestThroughputMerge(t *testing.T) {
+	var a, b Throughput
+	a.Add(1e9, 1)
+	b.Add(3e9, 1)
+	a.Merge(&b)
+	if a.Events() != 2 || !almostEqual(a.MeanGBps(), 2, 1e-12) {
+		t.Fatalf("merged throughput: %v events, %v GB/s", a.Events(), a.MeanGBps())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if !almostEqual(Quantile(xs, 0.5), 2.5, 1e-12) {
+		t.Fatalf("median = %v, want 2.5", Quantile(xs, 0.5))
+	}
+	// Input must be unmodified.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+}
+
+func TestPropertyWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, r := range raw {
+			w.Add(float64(r))
+			sum += float64(r)
+		}
+		mean := sum / float64(len(raw))
+		var ss float64
+		for _, r := range raw {
+			d := float64(r) - mean
+			ss += d * d
+		}
+		naiveVar := ss / float64(len(raw)-1)
+		return almostEqual(w.Mean(), mean, 1e-6) && almostEqual(w.Var(), naiveVar, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMergeOrderInvariant(t *testing.T) {
+	f := func(xs, ys []int8) bool {
+		var a1, b1, a2, b2 Welford
+		for _, x := range xs {
+			a1.Add(float64(x))
+			a2.Add(float64(x))
+		}
+		for _, y := range ys {
+			b1.Add(float64(y))
+			b2.Add(float64(y))
+		}
+		a1.Merge(&b1) // xs then ys
+		b2.Merge(&a2) // ys then xs
+		return a1.N() == b2.N() &&
+			almostEqual(a1.Mean(), b2.Mean(), 1e-9) &&
+			almostEqual(a1.Var(), b2.Var(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

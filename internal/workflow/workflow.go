@@ -1,0 +1,296 @@
+// Package workflow implements the paper's orchestration layer (§3.5): a
+// Workflow of registered components with an explicit dependency DAG,
+// launched onto local or "remote" resources. Components whose
+// dependencies are satisfied run concurrently; launch type "remote"
+// spawns a multi-rank MPI world for the component (the in-process
+// analogue of mpirun), while "local" runs a single goroutine (the
+// analogue of multiprocessing).
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"simaibench/internal/mpi"
+)
+
+// LaunchType selects a component's execution vehicle.
+type LaunchType int
+
+// Launch types, mirroring the paper's type="remote"/"local" component
+// argument.
+const (
+	Local LaunchType = iota
+	Remote
+)
+
+// ParseLaunchType converts a config string.
+func ParseLaunchType(s string) (LaunchType, error) {
+	switch s {
+	case "local", "":
+		return Local, nil
+	case "remote":
+		return Remote, nil
+	}
+	return Local, fmt.Errorf("workflow: unknown launch type %q", s)
+}
+
+// String returns the config name.
+func (lt LaunchType) String() string {
+	if lt == Remote {
+		return "remote"
+	}
+	return "local"
+}
+
+// Ctx is passed to every component body.
+type Ctx struct {
+	// Context carries cancellation: when any component fails, the rest
+	// observe Done.
+	context.Context
+	// Comm is the component's communicator: a world of Ranks ranks for
+	// remote components, nil for local ones.
+	Comm *mpi.Comm
+	// Component is the component's registered name.
+	Component string
+}
+
+// Body is a component implementation. For remote components the body
+// runs once per rank.
+type Body func(ctx Ctx) error
+
+// Component is one registered workflow node.
+type Component struct {
+	Name  string
+	Type  LaunchType
+	Ranks int // ranks for Remote (default 1)
+	Deps  []string
+	Body  Body
+}
+
+// Workflow is a DAG of components. Register everything, then Launch.
+type Workflow struct {
+	name       string
+	mu         sync.Mutex
+	components map[string]*Component
+	order      []string // registration order, for deterministic reporting
+	launched   bool
+}
+
+// New returns an empty workflow.
+func New(name string) *Workflow {
+	return &Workflow{name: name, components: make(map[string]*Component)}
+}
+
+// Name returns the workflow name.
+func (w *Workflow) Name() string { return w.name }
+
+// Register adds a component. It is the Go analogue of the paper's
+// @w.component decorator. Errors: duplicate names, nil bodies,
+// nonpositive rank counts.
+func (w *Workflow) Register(c Component) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if c.Name == "" {
+		return errors.New("workflow: component with empty name")
+	}
+	if _, dup := w.components[c.Name]; dup {
+		return fmt.Errorf("workflow: duplicate component %q", c.Name)
+	}
+	if c.Body == nil {
+		return fmt.Errorf("workflow: component %q has no body", c.Name)
+	}
+	if c.Ranks == 0 {
+		c.Ranks = 1
+	}
+	if c.Ranks < 0 {
+		return fmt.Errorf("workflow: component %q has %d ranks", c.Name, c.Ranks)
+	}
+	cp := c
+	cp.Deps = append([]string(nil), c.Deps...)
+	w.components[c.Name] = &cp
+	w.order = append(w.order, c.Name)
+	return nil
+}
+
+// Components returns registered names in registration order.
+func (w *Workflow) Components() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.order...)
+}
+
+// validate checks dependency references and acyclicity, returning a
+// topological order.
+func (w *Workflow) validate() ([]string, error) {
+	indeg := make(map[string]int, len(w.components))
+	dependents := make(map[string][]string)
+	for name, c := range w.components {
+		if _, ok := indeg[name]; !ok {
+			indeg[name] = 0
+		}
+		for _, d := range c.Deps {
+			if _, ok := w.components[d]; !ok {
+				return nil, fmt.Errorf("workflow: component %q depends on unknown %q", name, d)
+			}
+			if d == name {
+				return nil, fmt.Errorf("workflow: component %q depends on itself", name)
+			}
+			indeg[name]++
+			dependents[d] = append(dependents[d], name)
+		}
+	}
+	// Kahn's algorithm with sorted frontier for determinism.
+	var frontier []string
+	for name, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, name)
+		}
+	}
+	sort.Strings(frontier)
+	var topo []string
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		topo = append(topo, n)
+		var released []string
+		for _, m := range dependents[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				released = append(released, m)
+			}
+		}
+		sort.Strings(released)
+		frontier = append(frontier, released...)
+	}
+	if len(topo) != len(w.components) {
+		return nil, errors.New("workflow: dependency cycle detected")
+	}
+	return topo, nil
+}
+
+// Launch validates the DAG and executes it: every component starts as
+// soon as all its dependencies have completed successfully, and
+// independent components run concurrently. On the first component error
+// the shared context is canceled and Launch returns that error after all
+// started components finish. A workflow can be launched only once.
+func (w *Workflow) Launch(ctx context.Context) error {
+	w.mu.Lock()
+	if w.launched {
+		w.mu.Unlock()
+		return errors.New("workflow: already launched")
+	}
+	w.launched = true
+	w.mu.Unlock()
+
+	if _, err := w.validate(); err != nil {
+		return err
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	done := make(map[string]chan struct{}, len(w.components))
+	for name := range w.components {
+		done[name] = make(chan struct{})
+	}
+
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		errMu.Unlock()
+	}
+	succeeded := make(map[string]bool, len(w.components))
+	var okMu sync.Mutex
+
+	for name := range w.components {
+		c := w.components[name]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(done[c.Name])
+			// Wait for dependencies (or cancellation).
+			for _, d := range c.Deps {
+				select {
+				case <-done[d]:
+				case <-runCtx.Done():
+					return
+				}
+			}
+			okMu.Lock()
+			ready := true
+			for _, d := range c.Deps {
+				if !succeeded[d] {
+					ready = false
+				}
+			}
+			okMu.Unlock()
+			if !ready || runCtx.Err() != nil {
+				return
+			}
+			if err := w.runComponent(runCtx, c); err != nil {
+				fail(fmt.Errorf("workflow %s: component %s: %w", w.name, c.Name, err))
+				return
+			}
+			okMu.Lock()
+			succeeded[c.Name] = true
+			okMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr == nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return firstErr
+}
+
+// runComponent executes one component body on its launch vehicle.
+func (w *Workflow) runComponent(ctx context.Context, c *Component) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	switch c.Type {
+	case Local:
+		return c.Body(Ctx{Context: ctx, Component: c.Name})
+	case Remote:
+		world := mpi.NewWorld(c.Ranks)
+		var mu sync.Mutex
+		var rankErr error
+		world.Run(func(comm *mpi.Comm) {
+			if e := c.Body(Ctx{Context: ctx, Comm: comm, Component: c.Name}); e != nil {
+				mu.Lock()
+				if rankErr == nil {
+					rankErr = e
+				}
+				mu.Unlock()
+			}
+		})
+		return rankErr
+	}
+	return fmt.Errorf("unknown launch type %v", c.Type)
+}
+
+// Plan returns a topological execution order of the registered
+// components without launching them. It is the exported form third-party
+// workflow managers consume (the paper's §3.5: components "can be
+// exported for use with third-party workflow managers, such as
+// RADICAL-Pilot or Parsl"); an error reports cycles or unknown
+// dependencies.
+func (w *Workflow) Plan() ([]string, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.validate()
+}
