@@ -11,12 +11,25 @@
 package bench
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 
 	"simaibench/internal/datastore"
 	"simaibench/internal/experiments"
 )
+
+// sweepWorkers fans the independent points of the Fig 3/4/5/6 sweeps
+// across cores (0 = all cores, 1 = serial). Sweep points are isolated
+// single-threaded simulations, so reported metrics are identical at any
+// worker count — only the wall time changes.
+var sweepWorkers = flag.Int("sweepworkers", 0, "parallel sweep workers for the figure benchmarks (0 = all cores)")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	experiments.SweepWorkers = *sweepWorkers
+	m.Run()
+}
 
 // validationCfg is a scaled-down validation run sized for benchmarking.
 func validationCfg(mode experiments.ValidationMode) experiments.ValidationConfig {

@@ -28,8 +28,10 @@ func main() {
 	trainIters := flag.Int("train-iters", 2500, "validation training iterations (paper: 5000)")
 	sweepIters := flag.Int("sweep-iters", 600, "simulated training iterations per sweep point")
 	timeScale := flag.Float64("time-scale", 0.01, "wall-clock compression for real-mode validation")
+	parallel := flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial); results are identical at any setting")
 	flag.Parse()
 
+	experiments.SweepWorkers = *parallel
 	if err := run(*exp, *trainIters, *sweepIters, *timeScale); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

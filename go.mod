@@ -1,0 +1,3 @@
+module simaibench
+
+go 1.24

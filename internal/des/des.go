@@ -5,26 +5,68 @@
 // a virtual clock, so 512-node experiments finish in milliseconds of wall
 // time and are bit-reproducible across runs.
 //
-// Concurrency model: every process is a goroutine, but exactly one
-// goroutine (either the scheduler or a single resumed process) runs at a
-// time. Control is handed over explicitly through unbuffered channels, so
-// process bodies may mutate shared simulation state without locks.
-// Determinism: simultaneous events fire in schedule order (a monotonically
-// increasing sequence number breaks time ties).
+// Two execution styles share one event queue:
+//
+//   - Processes (Spawn): every process is a goroutine, but exactly one
+//     goroutine (either the scheduler or a single resumed process) runs
+//     at a time. Control is handed over explicitly through unbuffered
+//     channels, so process bodies may mutate shared simulation state
+//     without locks. Convenient for complex control flow.
+//   - Callback events (At/After, Event.OnTrigger, Resource.Request):
+//     plain functions that run flat on the scheduler goroutine with no
+//     goroutine, channel handoff or per-event allocation. This is the
+//     hot path: a Sleep-equivalent reschedule of a cached closure costs
+//     one value-record push into the heap and nothing else.
+//
+// Determinism: simultaneous events fire in schedule order (a
+// monotonically increasing sequence number breaks time ties), and the
+// two styles interleave on the same (time, seq) total order, so a
+// callback port of a process workload replays the exact event order of
+// the original as long as it issues the same schedule calls.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
+
+// Event kinds. The pending queue stores value-type records rather than
+// heap-allocated closures; the kind selects which payload field fires.
+const (
+	evFunc   uint8 = iota // run fn()
+	evResume              // resume proc, delivering val to its wait
+	evCall                // run cb(val)
+)
+
+// event is one queued occurrence: a flat 64-byte record ordered by
+// (t, seq). Records live inline in the heap slice, so scheduling never
+// allocates; the slice itself is the pool, growing once and then being
+// reused for the life of the environment.
+type event struct {
+	t    float64
+	seq  int64
+	proc *Proc
+	fn   func()
+	cb   func(any)
+	val  any
+	kind uint8
+}
+
+// before reports heap ordering: earlier time first, schedule order
+// breaking ties.
+func (a *event) before(b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
 
 // Env is a simulation environment: a virtual clock plus a pending-event
 // queue. The zero value is not usable; construct with NewEnv.
 type Env struct {
 	now     float64
 	seq     int64
-	events  eventHeap
+	q       []event // flat 4-ary min-heap on (t, seq)
 	yield   chan struct{}
 	procs   int // live (spawned, unfinished) processes
 	live    []*Proc
@@ -39,18 +81,90 @@ func NewEnv() *Env {
 // Now returns the current virtual time in seconds.
 func (e *Env) Now() float64 { return e.now }
 
+// push enqueues a record, maintaining the 4-ary heap invariant. The
+// hole-based sift-up writes the new record exactly once.
+func (e *Env) push(ev event) {
+	if ev.t < e.now {
+		panic(fmt.Sprintf("des: schedule at t=%v before now=%v", ev.t, e.now))
+	}
+	e.seq++
+	ev.seq = e.seq
+	q := append(e.q, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !ev.before(&q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = ev
+	e.q = q
+}
+
+// pop removes and returns the earliest record.
+func (e *Env) pop() event {
+	q := e.q
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = event{} // release payload references
+	q = q[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			min := c
+			for j := c + 1; j < end; j++ {
+				if q[j].before(&q[min]) {
+					min = j
+				}
+			}
+			if !q[min].before(&last) {
+				break
+			}
+			q[i] = q[min]
+			i = min
+		}
+		q[i] = last
+	}
+	e.q = q
+	return top
+}
+
 // Schedule runs fn at absolute virtual time t (>= Now). It is the
 // low-level primitive beneath processes, timeouts and event triggers.
 func (e *Env) Schedule(t float64, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("des: schedule at t=%v before now=%v", t, e.now))
-	}
-	e.seq++
-	heap.Push(&e.events, &scheduled{t: t, seq: e.seq, fn: fn})
+	e.push(event{t: t, kind: evFunc, fn: fn})
 }
+
+// At is Schedule under its callback-fast-path name: run fn at absolute
+// virtual time t, flat on the scheduler goroutine. Reuse one closure
+// across reschedules (store it in your state struct) and the only
+// per-occurrence cost is a value push into the event heap.
+func (e *Env) At(t float64, fn func()) { e.Schedule(t, fn) }
 
 // After runs fn d seconds from now.
 func (e *Env) After(d float64, fn func()) { e.Schedule(e.now+d, fn) }
+
+// call schedules cb(v) at time t: the value-carrying callback used by
+// Event triggers. Allocation-free like all record pushes.
+func (e *Env) call(t float64, cb func(any), v any) {
+	e.push(event{t: t, kind: evCall, cb: cb, val: v})
+}
+
+// resume schedules delivery of v to parked process p at time t.
+func (e *Env) resume(t float64, p *Proc, v any) {
+	e.push(event{t: t, kind: evResume, proc: p, val: v})
+}
 
 // Run executes events until the queue is empty. It returns the final
 // virtual time.
@@ -60,14 +174,20 @@ func (e *Env) Run() float64 { return e.RunUntil(math.Inf(1)) }
 // horizon remain queued. It returns the virtual time of the last executed
 // event (or the starting time if nothing ran).
 func (e *Env) RunUntil(until float64) float64 {
-	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.t > until {
+	for len(e.q) > 0 && !e.stopped {
+		if e.q[0].t > until {
 			break
 		}
-		heap.Pop(&e.events)
-		e.now = next.t
-		next.fn()
+		ev := e.pop()
+		e.now = ev.t
+		switch ev.kind {
+		case evFunc:
+			ev.fn()
+		case evResume:
+			e.transfer(ev.proc, ev.val)
+		case evCall:
+			ev.cb(ev.val)
+		}
 	}
 	return e.now
 }
@@ -76,7 +196,7 @@ func (e *Env) RunUntil(until float64) float64 {
 // are preserved; Run/RunUntil may be called again to continue.
 func (e *Env) Stop() { e.stopped = true }
 
-// resumeStopped clears the stop flag so a later Run continues.
+// clearStop clears the stop flag so a later Run continues.
 func (e *Env) clearStop() { e.stopped = false }
 
 // Resume continues a stopped environment until the queue drains.
@@ -86,7 +206,7 @@ func (e *Env) Resume() float64 {
 }
 
 // Pending reports the number of queued events.
-func (e *Env) Pending() int { return len(e.events) }
+func (e *Env) Pending() int { return len(e.q) }
 
 // Procs reports the number of live processes.
 func (e *Env) Procs() int { return e.procs }
@@ -110,34 +230,7 @@ func (e *Env) Shutdown() {
 		<-e.yield
 	}
 	e.live = nil
-	e.events = nil
-}
-
-// scheduled is one queued event.
-type scheduled struct {
-	t   float64
-	seq int64
-	fn  func()
-}
-
-type eventHeap []*scheduled
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*scheduled)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+	e.q = nil
 }
 
 // Proc is the handle a process body uses to interact with the simulation:
@@ -180,7 +273,7 @@ func (e *Env) SpawnAt(t float64, name string, body func(p *Proc)) *Proc {
 		body(p)
 		p.done.Trigger(nil)
 	}()
-	e.Schedule(t, func() { e.transfer(p, nil) })
+	e.resume(t, p, nil)
 	return p
 }
 
@@ -226,8 +319,7 @@ func (p *Proc) Sleep(d float64) {
 	if d < 0 {
 		panic("des: negative sleep")
 	}
-	e := p.env
-	e.After(d, func() { e.transfer(p, nil) })
+	p.env.resume(p.env.now+d, p, nil)
 	p.park()
 }
 
@@ -237,7 +329,7 @@ func (p *Proc) Wait(ev *Event) any {
 	if ev.triggered {
 		return ev.val
 	}
-	ev.waiters = append(ev.waiters, p)
+	ev.waiters = append(ev.waiters, waiter{p: p})
 	return p.park()
 }
 
@@ -248,13 +340,21 @@ func (p *Proc) WaitAll(evs ...*Event) {
 	}
 }
 
-// Event is a one-shot condition processes can wait on. Triggering resumes
-// all waiters at the current virtual time, in wait order.
+// waiter is one subscriber to an Event: a parked process or a flat
+// callback, whichever field is set.
+type waiter struct {
+	p  *Proc
+	cb func(any)
+}
+
+// Event is a one-shot condition that both processes and callbacks can
+// wait on. Triggering resumes all subscribers at the current virtual
+// time, in subscription order.
 type Event struct {
 	env       *Env
 	triggered bool
 	val       any
-	waiters   []*Proc
+	waiters   []waiter
 }
 
 // NewEvent returns an untriggered event bound to env.
@@ -267,8 +367,8 @@ func (ev *Event) Triggered() bool { return ev.triggered }
 func (ev *Event) Value() any { return ev.val }
 
 // Trigger fires the event with value v, scheduling resumption of every
-// waiter at the current time. Triggering twice panics: one-shot events
-// keep workflow completion logic honest.
+// subscriber at the current time. Triggering twice panics: one-shot
+// events keep workflow completion logic honest.
 func (ev *Event) Trigger(v any) {
 	if ev.triggered {
 		panic("des: event triggered twice")
@@ -277,8 +377,24 @@ func (ev *Event) Trigger(v any) {
 	ev.val = v
 	ws := ev.waiters
 	ev.waiters = nil
-	for _, p := range ws {
-		proc := p
-		ev.env.Schedule(ev.env.now, func() { ev.env.transfer(proc, v) })
+	for _, w := range ws {
+		if w.p != nil {
+			ev.env.resume(ev.env.now, w.p, v)
+		} else {
+			ev.env.call(ev.env.now, w.cb, v)
+		}
 	}
+}
+
+// OnTrigger registers fn to receive the trigger value: the flat
+// counterpart of Wait. If the event has already triggered, fn runs
+// synchronously (as Wait returns without yielding); otherwise it is
+// scheduled at trigger time, in subscription order with any parked
+// process waiters.
+func (ev *Event) OnTrigger(fn func(v any)) {
+	if ev.triggered {
+		fn(ev.val)
+		return
+	}
+	ev.waiters = append(ev.waiters, waiter{cb: fn})
 }

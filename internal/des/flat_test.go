@@ -1,0 +1,315 @@
+package des
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// --- callback fast path semantics ---
+
+func TestAtRunsFlat(t *testing.T) {
+	env := NewEnv()
+	var got []float64
+	env.At(2, func() { got = append(got, env.Now()) })
+	env.At(1, func() { got = append(got, env.Now()) })
+	env.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("At firing order/time = %v", got)
+	}
+}
+
+func TestOnTriggerBeforeTrigger(t *testing.T) {
+	env := NewEnv()
+	ev := NewEvent(env)
+	var got any
+	var at float64 = -1
+	ev.OnTrigger(func(v any) { got, at = v, env.Now() })
+	env.At(4, func() { ev.Trigger("payload") })
+	env.Run()
+	if got != "payload" || at != 4 {
+		t.Fatalf("OnTrigger got %v at t=%v, want payload at 4", got, at)
+	}
+}
+
+func TestOnTriggerAfterTriggerIsSynchronous(t *testing.T) {
+	env := NewEnv()
+	ev := NewEvent(env)
+	ev.Trigger(42)
+	called := false
+	ev.OnTrigger(func(v any) {
+		if v != 42 {
+			t.Errorf("value = %v", v)
+		}
+		called = true
+	})
+	if !called {
+		t.Fatal("OnTrigger on a triggered event did not run synchronously")
+	}
+}
+
+func TestTriggerInterleavesProcsAndCallbacks(t *testing.T) {
+	// Mixed subscribers must fire in subscription order, exactly like
+	// all-proc waiters did.
+	env := NewEnv()
+	ev := NewEvent(env)
+	var order []string
+	env.Spawn("a", func(p *Proc) { p.Wait(ev); order = append(order, "proc-a") })
+	env.Schedule(0, func() { ev.OnTrigger(func(any) { order = append(order, "cb-b") }) })
+	env.Spawn("c", func(p *Proc) { p.Wait(ev); order = append(order, "proc-c") })
+	env.At(1, func() { ev.Trigger(nil) })
+	env.Run()
+	want := []string{"proc-a", "cb-b", "proc-c"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFuture(t *testing.T) {
+	env := NewEnv()
+	f := NewFuture(env)
+	if f.Done() {
+		t.Fatal("new future reports done")
+	}
+	var got any
+	f.Then(func(v any) { got = v })
+	env.At(3, func() { f.Complete("x") })
+	env.Run()
+	if !f.Done() || f.Value() != "x" || got != "x" {
+		t.Fatalf("future done=%v value=%v delivered=%v", f.Done(), f.Value(), got)
+	}
+}
+
+func TestFutureEventBridgesToProcs(t *testing.T) {
+	env := NewEnv()
+	f := NewFuture(env)
+	var got any
+	env.Spawn("w", func(p *Proc) { got = p.Wait(f.Event()) })
+	env.At(2, func() { f.Complete(7) })
+	env.Run()
+	if got != 7 {
+		t.Fatalf("proc waiting on future got %v", got)
+	}
+}
+
+func TestAwaitAll(t *testing.T) {
+	env := NewEnv()
+	evs := []*Event{NewEvent(env), NewEvent(env), NewEvent(env)}
+	var at float64 = -1
+	AwaitAll(func() { at = env.Now() }, evs...)
+	env.At(5, func() { evs[1].Trigger(nil) })
+	env.At(2, func() { evs[0].Trigger(nil) })
+	env.At(9, func() { evs[2].Trigger(nil) })
+	env.Run()
+	if at != 9 {
+		t.Fatalf("AwaitAll completed at %v, want 9 (slowest)", at)
+	}
+}
+
+func TestAwaitAllEmptyAndTriggered(t *testing.T) {
+	env := NewEnv()
+	done := false
+	AwaitAll(func() { done = true })
+	if !done {
+		t.Fatal("AwaitAll with no events did not complete synchronously")
+	}
+	ev := NewEvent(env)
+	ev.Trigger(nil)
+	done = false
+	AwaitAll(func() { done = true }, ev)
+	if !done {
+		t.Fatal("AwaitAll with all-triggered events did not complete synchronously")
+	}
+}
+
+func TestResourceRequestInterleavesWithProcs(t *testing.T) {
+	// Callback claimants and process claimants share one FIFO queue.
+	env := NewEnv()
+	res := NewResource(env, 1)
+	var order []string
+	env.Spawn("p1", func(p *Proc) { res.Use(p, 2); order = append(order, "p1") })
+	env.Schedule(0, func() {
+		res.UseFor(2, func() { order = append(order, "cb") })
+	})
+	env.Spawn("p2", func(p *Proc) { res.Use(p, 2); order = append(order, "p2") })
+	env.Run()
+	want := []string{"p1", "cb", "p2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", order, want)
+		}
+	}
+	if env.Now() != 6 {
+		t.Fatalf("final time = %v, want 6 (serialized holds)", env.Now())
+	}
+}
+
+func TestResourceRequestSynchronousWhenFree(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	called := false
+	res.Request(func() { called = true })
+	if !called {
+		t.Fatal("Request on a free resource did not grant synchronously")
+	}
+	if res.InUse() != 1 {
+		t.Fatalf("inUse = %d after grant", res.InUse())
+	}
+	res.Release()
+}
+
+func TestStoreOnNext(t *testing.T) {
+	env := NewEnv()
+	st := NewStore(env)
+	var got []any
+	st.OnNext(func(v any) { got = append(got, v) }) // parked
+	env.At(1, func() { st.Put("a") })
+	env.Run()
+	st.Put("b")
+	st.OnNext(func(v any) { got = append(got, v) }) // synchronous
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("OnNext delivered %v", got)
+	}
+}
+
+// TestFlatMatchesProcSemantics runs the same randomized
+// resource-contention workload twice — once with processes, once with
+// flat callbacks — and requires identical completion traces. This is
+// the engine-level determinism regression for the callback fast path:
+// the CPS transform of a process body must replay its event order.
+func TestFlatMatchesProcSemantics(t *testing.T) {
+	type job struct{ start, hold float64 }
+	makeJobs := func(seed int64) []job {
+		rng := rand.New(rand.NewSource(seed))
+		jobs := make([]job, 60)
+		for i := range jobs {
+			jobs[i] = job{start: rng.Float64() * 10, hold: rng.Float64()}
+		}
+		return jobs
+	}
+	runProcs := func(jobs []job) []float64 {
+		env := NewEnv()
+		res := NewResource(env, 2)
+		var trace []float64
+		for _, j := range jobs {
+			j := j
+			env.SpawnAt(j.start, "job", func(p *Proc) {
+				res.Use(p, j.hold)
+				trace = append(trace, p.Now())
+			})
+		}
+		env.Run()
+		return trace
+	}
+	runFlat := func(jobs []job) []float64 {
+		env := NewEnv()
+		res := NewResource(env, 2)
+		var trace []float64
+		for _, j := range jobs {
+			j := j
+			env.At(j.start, func() {
+				res.UseFor(j.hold, func() { trace = append(trace, env.Now()) })
+			})
+		}
+		env.Run()
+		return trace
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		jobs := makeJobs(seed)
+		a, b := runProcs(jobs), runFlat(jobs)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: trace lengths differ: %d vs %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: traces diverge at %d: %v vs %v", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestFlatDeterminismAcrossRuns: identical seeded callback workloads
+// must produce identical traces run-to-run.
+func TestFlatDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		env := NewEnv()
+		res := NewResource(env, 3)
+		var trace []float64
+		for i := 0; i < 80; i++ {
+			start, hold := rng.Float64()*20, rng.Float64()
+			env.At(start, func() {
+				res.UseFor(hold, func() { trace = append(trace, env.Now()) })
+			})
+		}
+		env.Run()
+		return trace
+	}
+	a, b := run(13), run(13)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("callback traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// --- hot path microbenchmarks ---
+
+// BenchmarkSpawnSleep measures the legacy process path: one goroutine
+// per process, one channel-handoff pair per sleep.
+func BenchmarkSpawnSleep(b *testing.B) {
+	env := NewEnv()
+	env.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+// BenchmarkCallbackTick measures the flat counterpart of SpawnSleep: a
+// cached closure rescheduling itself. This is the engine's true hot
+// path and should be allocation-free.
+func BenchmarkCallbackTick(b *testing.B) {
+	env := NewEnv()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			env.After(1, tick)
+		}
+	}
+	env.At(0, tick)
+	b.ResetTimer()
+	env.Run()
+}
+
+// BenchmarkEventTrigger measures trigger+callback delivery with one
+// subscriber per event.
+func BenchmarkEventTrigger(b *testing.B) {
+	env := NewEnv()
+	sink := func(any) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := NewEvent(env)
+		ev.OnTrigger(sink)
+		ev.Trigger(nil)
+		env.Run()
+	}
+}
+
+// BenchmarkScheduleDrain measures raw heap push/pop throughput: 1024
+// events scheduled at scattered times, then drained.
+func BenchmarkScheduleDrain(b *testing.B) {
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		env := NewEnv()
+		for j := 0; j < 1024; j++ {
+			env.Schedule(float64(j%31), fn)
+		}
+		env.Run()
+	}
+}

@@ -1,0 +1,55 @@
+package des
+
+// Future is a one-shot value produced later: the flat-callback
+// counterpart of spawning a process and waiting on its Done event.
+// Complete delivers the value; Then subscribes a callback. It is a thin
+// veneer over Event with future-shaped names, so leaf operations that
+// produce a result can hand it to continuations without parking a
+// goroutine.
+type Future struct {
+	ev Event
+}
+
+// NewFuture returns an incomplete future bound to env.
+func NewFuture(env *Env) *Future {
+	return &Future{ev: Event{env: env}}
+}
+
+// Complete resolves the future with v, scheduling all subscribers at the
+// current virtual time. Completing twice panics.
+func (f *Future) Complete(v any) { f.ev.Trigger(v) }
+
+// Done reports whether the future has been completed.
+func (f *Future) Done() bool { return f.ev.triggered }
+
+// Value returns the completed value (nil before completion).
+func (f *Future) Value() any { return f.ev.val }
+
+// Then invokes fn with the value: synchronously if already complete,
+// otherwise at completion time (subscription order).
+func (f *Future) Then(fn func(v any)) { f.ev.OnTrigger(fn) }
+
+// Event exposes the underlying event so process code can Wait on a
+// future produced by callback code.
+func (f *Future) Event() *Event { return &f.ev }
+
+// AwaitAll invokes done once every event has triggered, checking them in
+// order: the flat counterpart of Proc.WaitAll. It replays WaitAll's
+// exact scheduling behavior — skip already-triggered events
+// synchronously, subscribe to the first pending one, repeat on wake — so
+// callback ports of fan-out/join code preserve event order.
+func AwaitAll(done func(), evs ...*Event) {
+	i := 0
+	var step func(any)
+	step = func(any) {
+		for i < len(evs) && evs[i].triggered {
+			i++
+		}
+		if i == len(evs) {
+			done()
+			return
+		}
+		evs[i].OnTrigger(step)
+	}
+	step(nil)
+}

@@ -4,14 +4,22 @@ package des
 // SimPy Resource. It models serialization points in the cluster: a NIC
 // that admits a bounded number of concurrent flows, a Lustre metadata
 // server with a single service slot, an OST with k parallel streams.
+// Processes (Acquire) and flat callbacks (Request) share one queue, so
+// both styles contend in strict FIFO order.
 type Resource struct {
 	env   *Env
 	cap   int
 	inUse int
-	waitQ []*Proc
+	waitQ []rwaiter
 	// peak tracks the maximum simultaneous utilization, handy for
 	// asserting contention in tests.
 	peak int
+}
+
+// rwaiter is one queued claimant: a parked process or a grant callback.
+type rwaiter struct {
+	p  *Proc
+	fn func()
 }
 
 // NewResource returns a resource with the given capacity (>= 1).
@@ -22,21 +30,41 @@ func NewResource(env *Env, capacity int) *Resource {
 	return &Resource{env: env, cap: capacity}
 }
 
+// take claims a free slot; returns false when at capacity.
+func (r *Resource) take() bool {
+	if r.inUse >= r.cap {
+		return false
+	}
+	r.inUse++
+	if r.inUse > r.peak {
+		r.peak = r.inUse
+	}
+	return true
+}
+
 // Acquire blocks the calling process until a slot is free, FIFO order.
 func (r *Resource) Acquire(p *Proc) {
-	if r.inUse < r.cap {
-		r.inUse++
-		if r.inUse > r.peak {
-			r.peak = r.inUse
-		}
+	if r.take() {
 		return
 	}
-	r.waitQ = append(r.waitQ, p)
+	r.waitQ = append(r.waitQ, rwaiter{p: p})
 	p.park()
 }
 
-// Release frees one slot, waking the longest-waiting process if any.
-// The slot transfers directly to the woken process, preserving FIFO
+// Request invokes fn holding a slot: synchronously if one is free (as
+// Acquire returns immediately), otherwise when the slot is granted, in
+// FIFO order with any parked processes. The flat counterpart of Acquire;
+// reuse one fn closure across calls to keep the hot path allocation-free.
+func (r *Resource) Request(fn func()) {
+	if r.take() {
+		fn()
+		return
+	}
+	r.waitQ = append(r.waitQ, rwaiter{fn: fn})
+}
+
+// Release frees one slot, waking the longest-waiting claimant if any.
+// The slot transfers directly to the woken claimant, preserving FIFO
 // fairness (no barging).
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
@@ -46,7 +74,11 @@ func (r *Resource) Release() {
 		next := r.waitQ[0]
 		r.waitQ = r.waitQ[1:]
 		// inUse stays the same: the slot moves to next.
-		r.env.Schedule(r.env.now, func() { r.env.transfer(next, nil) })
+		if next.p != nil {
+			r.env.resume(r.env.now, next.p, nil)
+		} else {
+			r.env.Schedule(r.env.now, next.fn)
+		}
 		return
 	}
 	r.inUse--
@@ -57,6 +89,19 @@ func (r *Resource) Use(p *Proc, d float64) {
 	r.Acquire(p)
 	p.Sleep(d)
 	r.Release()
+}
+
+// UseFor is the flat counterpart of Use: hold a slot for d virtual
+// seconds, then release and invoke then. Convenient for one-off timed
+// holds; hot loops should instead cache a Request grant closure that
+// calls After/Release itself, which schedules with zero allocations.
+func (r *Resource) UseFor(d float64, then func()) {
+	r.Request(func() {
+		r.env.After(d, func() {
+			r.Release()
+			then()
+		})
+	})
 }
 
 // InUse reports current utilization; Cap the capacity; Waiting the queue

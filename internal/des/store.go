@@ -7,7 +7,7 @@ package des
 type Store struct {
 	env   *Env
 	items []any
-	getQ  []*Proc
+	getQ  []waiter
 }
 
 // NewStore returns an empty store bound to env.
@@ -17,9 +17,13 @@ func NewStore(env *Env) *Store { return &Store{env: env} }
 // process bodies and from plain scheduled callbacks alike.
 func (s *Store) Put(v any) {
 	if len(s.getQ) > 0 {
-		p := s.getQ[0]
+		w := s.getQ[0]
 		s.getQ = s.getQ[1:]
-		s.env.Schedule(s.env.now, func() { s.env.transfer(p, v) })
+		if w.p != nil {
+			s.env.resume(s.env.now, w.p, v)
+		} else {
+			s.env.call(s.env.now, w.cb, v)
+		}
 		return
 	}
 	s.items = append(s.items, v)
@@ -33,8 +37,21 @@ func (s *Store) Get(p *Proc) any {
 		s.items = s.items[1:]
 		return v
 	}
-	s.getQ = append(s.getQ, p)
+	s.getQ = append(s.getQ, waiter{p: p})
 	return p.park()
+}
+
+// OnNext invokes fn with the next item: synchronously if one is queued
+// (as Get returns immediately), otherwise when a Put arrives, FIFO with
+// any parked getters. The flat counterpart of Get.
+func (s *Store) OnNext(fn func(v any)) {
+	if len(s.items) > 0 {
+		v := s.items[0]
+		s.items = s.items[1:]
+		fn(v)
+		return
+	}
+	s.getQ = append(s.getQ, waiter{cb: fn})
 }
 
 // TryGet returns the head item without blocking; ok is false if empty.

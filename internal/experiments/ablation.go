@@ -32,21 +32,26 @@ type MDSAblationPoint struct {
 // RunMDSAblation sweeps the MDS service time at both Fig 3 scales,
 // measuring the Pattern 1 file-system write time at 8 MB.
 func RunMDSAblation(services []float64, trainIters int) []MDSAblationPoint {
-	var points []MDSAblationPoint
+	type cell struct {
+		svc   float64
+		nodes int
+	}
+	var cells []cell
 	for _, svc := range services {
 		for _, nodes := range []int{8, 512} {
-			params := costmodel.Default()
-			params.LustreMDSServiceS = svc
-			pt := RunPattern1(Pattern1Config{
-				Nodes: nodes, Backend: datastore.FileSystem, SizeMB: 8,
-				TrainIters: trainIters, Params: &params,
-			})
-			points = append(points, MDSAblationPoint{
-				MDSServiceS: svc, Nodes: nodes, WriteMeanS: pt.WriteMean,
-			})
+			cells = append(cells, cell{svc, nodes})
 		}
 	}
-	return points
+	return sweepParallel(len(cells), func(i int) MDSAblationPoint {
+		c := cells[i]
+		params := costmodel.Default()
+		params.LustreMDSServiceS = c.svc
+		pt := RunPattern1(Pattern1Config{
+			Nodes: c.nodes, Backend: datastore.FileSystem, SizeMB: 8,
+			TrainIters: trainIters, Params: &params,
+		})
+		return MDSAblationPoint{MDSServiceS: c.svc, Nodes: c.nodes, WriteMeanS: pt.WriteMean}
+	})
 }
 
 // PrintMDSAblation renders the sweep.
@@ -68,21 +73,23 @@ type CacheAblationPoint struct {
 // RunCacheAblation sweeps the per-process cache share and measures the
 // node-local write throughput profile across the Fig 3 sizes.
 func RunCacheAblation(shares []float64, trainIters int) []CacheAblationPoint {
-	var points []CacheAblationPoint
+	type cell struct{ share, size float64 }
+	var cells []cell
 	for _, share := range shares {
 		for _, size := range Fig3Sizes {
-			params := costmodel.Default()
-			params.CacheShareMB = share
-			pt := RunPattern1(Pattern1Config{
-				Nodes: 8, Backend: datastore.NodeLocal, SizeMB: size,
-				TrainIters: trainIters, Params: &params,
-			})
-			points = append(points, CacheAblationPoint{
-				CacheShareMB: share, SizeMB: size, WriteGBps: pt.WriteGBps,
-			})
+			cells = append(cells, cell{share, size})
 		}
 	}
-	return points
+	return sweepParallel(len(cells), func(i int) CacheAblationPoint {
+		c := cells[i]
+		params := costmodel.Default()
+		params.CacheShareMB = c.share
+		pt := RunPattern1(Pattern1Config{
+			Nodes: 8, Backend: datastore.NodeLocal, SizeMB: c.size,
+			TrainIters: trainIters, Params: &params,
+		})
+		return CacheAblationPoint{CacheShareMB: c.share, SizeMB: c.size, WriteGBps: pt.WriteGBps}
+	})
 }
 
 // PrintCacheAblation renders the sweep.
@@ -107,26 +114,30 @@ type IncastAblationPoint struct {
 // system's. With the latency ablated to ~zero, Dragon's point-to-point
 // advantage should reassert itself at small messages.
 func RunIncastAblation(latencies []float64, trainIters int) []IncastAblationPoint {
-	var points []IncastAblationPoint
+	type cell struct{ lat, size float64 }
+	var cells []cell
 	for _, lat := range latencies {
 		for _, size := range []float64{1, 10, 128} {
-			params := costmodel.Default()
-			params.DragonIncastLatencyS = lat
-			dr := RunFig6(Fig6Config{
-				Nodes: 128, Backend: datastore.Dragon, SizeMB: size,
-				TrainIters: trainIters, Params: &params,
-			})
-			fs := RunFig6(Fig6Config{
-				Nodes: 128, Backend: datastore.FileSystem, SizeMB: size,
-				TrainIters: trainIters, Params: &params,
-			})
-			points = append(points, IncastAblationPoint{
-				IncastLatencyS: lat, SizeMB: size,
-				DragonFetchS: dr.FetchMeanS, FSFetchS: fs.FetchMeanS,
-			})
+			cells = append(cells, cell{lat, size})
 		}
 	}
-	return points
+	return sweepParallel(len(cells), func(i int) IncastAblationPoint {
+		c := cells[i]
+		params := costmodel.Default()
+		params.DragonIncastLatencyS = c.lat
+		dr := RunFig6(Fig6Config{
+			Nodes: 128, Backend: datastore.Dragon, SizeMB: c.size,
+			TrainIters: trainIters, Params: &params,
+		})
+		fs := RunFig6(Fig6Config{
+			Nodes: 128, Backend: datastore.FileSystem, SizeMB: c.size,
+			TrainIters: trainIters, Params: &params,
+		})
+		return IncastAblationPoint{
+			IncastLatencyS: c.lat, SizeMB: c.size,
+			DragonFetchS: dr.FetchMeanS, FSFetchS: fs.FetchMeanS,
+		}
+	})
 }
 
 // PrintIncastAblation renders the sweep.

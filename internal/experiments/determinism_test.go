@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"testing"
+
+	"simaibench/internal/cluster"
+	"simaibench/internal/costmodel"
+	"simaibench/internal/datastore"
+	"simaibench/internal/des"
+	"simaibench/internal/stats"
+)
+
+// The flat-callback harnesses (flat.go) must be semantically identical
+// to the process-based bodies they replaced: same event order, same
+// metrics, bit for bit. These tests keep the pre-refactor process
+// implementations alive as references and compare every reported field
+// exactly, across the full backend grid. A divergence anywhere —
+// engine, cost model, or rank state machine — fails here.
+
+// runPattern1Reference is the pre-refactor process implementation of
+// RunPattern1.
+func runPattern1Reference(cfg Pattern1Config) Pattern1Point {
+	cfg = cfg.withDefaults()
+	spec := cluster.Aurora(cfg.Nodes)
+	place := cluster.Pattern1Placement(spec)
+	env := des.NewEnv()
+	params := costmodel.Default()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	model := costmodel.New(env, spec, params)
+
+	horizon := float64(cfg.TrainIters) * cfg.TrainIterS
+	var writeTput, readTput stats.Throughput
+	var writeTime, readTime stats.Welford
+	bytes := int64(cfg.SizeMB * 1e6)
+
+	for node := 0; node < cfg.Nodes; node++ {
+		node := node
+		for r := 0; r < place.SimTilesPerNode; r++ {
+			env.Spawn("sim", func(p *des.Proc) {
+				period := float64(cfg.WritePeriod) * cfg.SimIterS
+				for p.Now() < horizon {
+					p.Sleep(period)
+					d := model.LocalWrite(p, cfg.Backend, node, cfg.SizeMB)
+					writeTime.Add(d)
+					writeTput.Add(bytes, d)
+				}
+			})
+		}
+		for r := 0; r < place.AITilesPerNode; r++ {
+			env.Spawn("ai", func(p *des.Proc) {
+				readPeriod := float64(cfg.ReadPeriod) * cfg.TrainIterS
+				writePeriod := float64(cfg.WritePeriod) * cfg.SimIterS
+				lastRead := -writePeriod
+				for p.Now() < horizon {
+					p.Sleep(readPeriod)
+					if p.Now()-lastRead < writePeriod {
+						continue
+					}
+					lastRead = p.Now()
+					d := model.LocalRead(p, cfg.Backend, node, cfg.SizeMB)
+					readTime.Add(d)
+					readTput.Add(bytes, d)
+				}
+			})
+		}
+	}
+	env.RunUntil(horizon * 1.5)
+	env.Shutdown()
+
+	return Pattern1Point{
+		Nodes:     cfg.Nodes,
+		Backend:   cfg.Backend,
+		SizeMB:    cfg.SizeMB,
+		ReadGBps:  readTput.MeanGBps(),
+		WriteGBps: writeTput.MeanGBps(),
+		ReadMeanS: readTime.Mean(),
+		WriteMean: writeTime.Mean(),
+		SimIterS:  cfg.SimIterS,
+		TrainIter: cfg.TrainIterS,
+		Writes:    writeTime.N(),
+		Reads:     readTime.N(),
+	}
+}
+
+func TestPattern1MatchesProcessReference(t *testing.T) {
+	for _, b := range datastore.Backends() {
+		for _, size := range []float64{0.4, 8, 32} {
+			cfg := Pattern1Config{Nodes: 4, Backend: b, SizeMB: size, TrainIters: 120}
+			got := RunPattern1(cfg)
+			want := runPattern1Reference(cfg)
+			if got != want {
+				t.Errorf("%v %gMB: flat %+v != reference %+v", b, size, got, want)
+			}
+		}
+	}
+}
+
+func TestPattern1MatchesReferenceAtScaleFS(t *testing.T) {
+	// The file-system backend at scale is the contention-heavy case:
+	// every rank funnels through one MDS queue, so any event-order
+	// divergence shows up here first.
+	if testing.Short() {
+		t.Skip("contention case is slow in -short mode")
+	}
+	cfg := Pattern1Config{Nodes: 64, Backend: datastore.FileSystem, SizeMB: 8, TrainIters: 60}
+	got := RunPattern1(cfg)
+	want := runPattern1Reference(cfg)
+	if got != want {
+		t.Errorf("fs@64: flat %+v != reference %+v", got, want)
+	}
+}
+
+// runFig5Reference is the pre-refactor process implementation of RunFig5.
+func runFig5Reference(cfg Fig5Config) Fig5Point {
+	if cfg.Transfers == 0 {
+		cfg.Transfers = 50
+	}
+	spec := cluster.Aurora(2)
+	env := des.NewEnv()
+	params := costmodel.Default()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	model := costmodel.New(env, spec, params)
+	bytes := int64(cfg.SizeMB * 1e6)
+
+	var writeTput, readTput stats.Throughput
+	env.Spawn("pair", func(p *des.Proc) {
+		for i := 0; i < cfg.Transfers; i++ {
+			d := model.LocalWrite(p, cfg.Backend, 0, cfg.SizeMB)
+			writeTput.Add(bytes, d)
+			d = model.RemoteReadOne(p, cfg.Backend, cfg.SizeMB)
+			readTput.Add(bytes, d)
+		}
+	})
+	env.Run()
+	return Fig5Point{
+		Backend:   cfg.Backend,
+		SizeMB:    cfg.SizeMB,
+		ReadGBps:  readTput.MeanGBps(),
+		WriteGBps: writeTput.MeanGBps(),
+	}
+}
+
+func TestFig5MatchesProcessReference(t *testing.T) {
+	for _, b := range Pattern2Backends {
+		for _, size := range []float64{1, 10, 128} {
+			cfg := Fig5Config{Backend: b, SizeMB: size, Transfers: 25}
+			got := RunFig5(cfg)
+			want := runFig5Reference(cfg)
+			if got != want {
+				t.Errorf("%v %gMB: flat %+v != reference %+v", b, size, got, want)
+			}
+		}
+	}
+}
+
+// runFig6Reference is the pre-refactor process implementation of RunFig6.
+func runFig6Reference(cfg Fig6Config) Fig6Point {
+	cfg = cfg.withDefaults()
+	spec := cluster.Aurora(cfg.Nodes + 1)
+	env := des.NewEnv()
+	params := costmodel.Default()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	model := costmodel.New(env, spec, params)
+
+	horizon := float64(cfg.TrainIters) * cfg.TrainIterS * 10
+	var fetchTime stats.Welford
+
+	for node := 0; node < cfg.Nodes; node++ {
+		node := node
+		env.Spawn("sim", func(p *des.Proc) {
+			period := float64(cfg.WritePeriod) * cfg.SimIterS
+			for p.Now() < horizon {
+				p.Sleep(period)
+				model.LocalWrite(p, cfg.Backend, node, cfg.SizeMB)
+			}
+		})
+	}
+
+	var lastPeriodEnd float64
+	completedPeriods := 0
+	env.Spawn("trainer", func(p *des.Proc) {
+		periods := cfg.TrainIters / cfg.ReadPeriod
+		for i := 0; i < periods; i++ {
+			p.Sleep(float64(cfg.ReadPeriod) * cfg.TrainIterS)
+			d := model.FetchAll(p, cfg.Backend, cfg.Nodes, cfg.SizeMB)
+			fetchTime.Add(d)
+			lastPeriodEnd = p.Now()
+			completedPeriods++
+		}
+	})
+	env.RunUntil(horizon)
+	env.Shutdown()
+
+	execPerIter := 0.0
+	if completedPeriods > 0 {
+		execPerIter = lastPeriodEnd / float64(completedPeriods*cfg.ReadPeriod)
+	}
+	return Fig6Point{
+		Nodes:        cfg.Nodes,
+		Backend:      cfg.Backend,
+		SizeMB:       cfg.SizeMB,
+		ExecPerIterS: execPerIter,
+		FetchMeanS:   fetchTime.Mean(),
+	}
+}
+
+func TestFig6MatchesProcessReference(t *testing.T) {
+	for _, b := range Pattern2Backends {
+		for _, size := range []float64{1, 10} {
+			cfg := Fig6Config{Nodes: 16, Backend: b, SizeMB: size, TrainIters: 100}
+			got := RunFig6(cfg)
+			want := runFig6Reference(cfg)
+			if got != want {
+				t.Errorf("%v %gMB: flat %+v != reference %+v", b, size, got, want)
+			}
+		}
+	}
+}
+
+// TestSweepParallelismInvariant: the parallel sweep runner must produce
+// results identical to serial execution, in the same order, at any
+// worker count.
+func TestSweepParallelismInvariant(t *testing.T) {
+	prev := SweepWorkers
+	defer func() { SweepWorkers = prev }()
+
+	SweepWorkers = 1
+	serial := RunFig3(4, 80)
+	for _, workers := range []int{2, 8} {
+		SweepWorkers = workers
+		got := RunFig3(4, 80)
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(serial))
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Errorf("workers=%d point %d: %+v != serial %+v", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"simaibench/internal/costmodel"
+	"simaibench/internal/datastore"
+	"simaibench/internal/des"
+	"simaibench/internal/stats"
+)
+
+// Flat rank runners: the workflow components of the simulated-scale
+// experiments as callback state machines. Each rank used to be a spawned
+// goroutine process (one goroutine + one channel handoff pair per
+// event); these structs run the same loops flat on the scheduler
+// goroutine, building every closure once at construction so steady-state
+// iterations allocate nothing. The callback chains are exact CPS
+// transforms of the old process bodies — same schedule calls in the same
+// order — so event order and reported metrics are bit-identical.
+
+// simWriter replays the simulation rank: sleep one write period, stage a
+// snapshot locally, record stats (when sinks are set), repeat while the
+// wake-up check falls before the horizon.
+type simWriter struct {
+	env     *des.Env
+	period  float64
+	horizon float64
+	start   float64
+	bytes   int64
+	time    *stats.Welford    // optional
+	tput    *stats.Throughput // optional
+	xfer    *costmodel.LocalXfer
+	wake    func()
+}
+
+// newSimWriter builds the rank and schedules its first activation at the
+// current time (as Spawn did).
+func newSimWriter(env *des.Env, model *costmodel.Model, cfg simWriterConfig) *simWriter {
+	w := &simWriter{
+		env:     env,
+		period:  cfg.period,
+		horizon: cfg.horizon,
+		bytes:   cfg.bytes,
+		time:    cfg.time,
+		tput:    cfg.tput,
+	}
+	w.wake = func() {
+		w.start = w.env.Now()
+		w.xfer.Start()
+	}
+	w.xfer = model.NewLocalWrite(cfg.backend, cfg.node, cfg.sizeMB, func() {
+		now := w.env.Now()
+		d := now - w.start
+		if w.time != nil {
+			w.time.Add(d)
+		}
+		if w.tput != nil {
+			w.tput.Add(w.bytes, d)
+		}
+		if now < w.horizon {
+			w.env.After(w.period, w.wake)
+		}
+	})
+	env.At(env.Now(), func() {
+		if w.env.Now() < w.horizon {
+			w.env.After(w.period, w.wake)
+		}
+	})
+	return w
+}
+
+type simWriterConfig struct {
+	backend datastore.Backend
+	node    int
+	sizeMB  float64
+	period  float64
+	horizon float64
+	bytes   int64
+	time    *stats.Welford
+	tput    *stats.Throughput
+}
+
+// aiReader replays the trainer rank of Pattern 1: poll every read
+// period, read only when a fresh snapshot exists (once per write
+// period), record stats.
+type aiReader struct {
+	env         *des.Env
+	readPeriod  float64
+	writePeriod float64
+	horizon     float64
+	lastRead    float64
+	start       float64
+	bytes       int64
+	time        *stats.Welford
+	tput        *stats.Throughput
+	xfer        *costmodel.LocalXfer
+	wake        func()
+}
+
+type aiReaderConfig struct {
+	backend     datastore.Backend
+	node        int
+	sizeMB      float64
+	readPeriod  float64
+	writePeriod float64
+	horizon     float64
+	bytes       int64
+	time        *stats.Welford
+	tput        *stats.Throughput
+}
+
+func newAIReader(env *des.Env, model *costmodel.Model, cfg aiReaderConfig) *aiReader {
+	r := &aiReader{
+		env: env, readPeriod: cfg.readPeriod, writePeriod: cfg.writePeriod, horizon: cfg.horizon,
+		lastRead: -cfg.writePeriod, bytes: cfg.bytes, time: cfg.time, tput: cfg.tput,
+	}
+	r.wake = func() {
+		now := r.env.Now()
+		if now-r.lastRead < r.writePeriod {
+			// No new snapshot staged yet: this poll costs no transfer.
+			if now < r.horizon {
+				r.env.After(r.readPeriod, r.wake)
+			}
+			return
+		}
+		r.lastRead = now
+		r.start = now
+		r.xfer.Start()
+	}
+	r.xfer = model.NewLocalRead(cfg.backend, cfg.node, cfg.sizeMB, func() {
+		now := r.env.Now()
+		d := now - r.start
+		r.time.Add(d)
+		r.tput.Add(r.bytes, d)
+		if now < r.horizon {
+			r.env.After(r.readPeriod, r.wake)
+		}
+	})
+	env.At(env.Now(), func() {
+		if r.env.Now() < r.horizon {
+			r.env.After(r.readPeriod, r.wake)
+		}
+	})
+	return r
+}
+
+// fig5Pair replays the 2-node point-to-point loop: a local write on node
+// 0 followed by a non-local read, a fixed number of times.
+type fig5Pair struct {
+	env        *des.Env
+	transfers  int
+	i          int
+	bytes      int64
+	writeStart float64
+	readStart  float64
+	writeTput  *stats.Throughput
+	readTput   *stats.Throughput
+	write      *costmodel.LocalXfer
+	read       *costmodel.RemoteXfer
+	beginWrite func()
+}
+
+func newFig5Pair(env *des.Env, model *costmodel.Model, backend datastore.Backend, sizeMB float64,
+	transfers int, bytes int64, writeTput, readTput *stats.Throughput) *fig5Pair {
+	p := &fig5Pair{
+		env: env, transfers: transfers, bytes: bytes,
+		writeTput: writeTput, readTput: readTput,
+	}
+	p.beginWrite = func() {
+		p.writeStart = p.env.Now()
+		p.write.Start()
+	}
+	p.write = model.NewLocalWrite(backend, 0, sizeMB, func() {
+		p.writeTput.Add(p.bytes, p.env.Now()-p.writeStart)
+		p.readStart = p.env.Now()
+		p.read.Start()
+	})
+	p.read = model.NewRemoteRead(backend, sizeMB, func() {
+		p.readTput.Add(p.bytes, p.env.Now()-p.readStart)
+		p.i++
+		if p.i < p.transfers {
+			p.beginWrite()
+		}
+	})
+	env.At(env.Now(), func() {
+		if p.transfers > 0 {
+			p.beginWrite()
+		}
+	})
+	return p
+}
+
+// fig6Trainer replays the many-to-one trainer: compute for a read
+// period, then a blocking ensemble read of the whole ensemble, tracking
+// per-period progress so exec/iter stays correct when a slow backend
+// does not finish within the horizon.
+type fig6Trainer struct {
+	env              *des.Env
+	periods          int
+	i                int
+	sleepS           float64
+	fetchStart       float64
+	fetchTime        *stats.Welford
+	lastPeriodEnd    *float64
+	completedPeriods *int
+	fetch            *costmodel.EnsembleFetch
+	wake             func()
+}
+
+type fig6TrainerConfig struct {
+	backend          datastore.Backend
+	nodes            int
+	sizeMB           float64
+	periods          int
+	sleepS           float64
+	fetchTime        *stats.Welford
+	lastPeriodEnd    *float64
+	completedPeriods *int
+}
+
+func newFig6Trainer(env *des.Env, model *costmodel.Model, cfg fig6TrainerConfig) *fig6Trainer {
+	t := &fig6Trainer{
+		env: env, periods: cfg.periods, sleepS: cfg.sleepS,
+		fetchTime: cfg.fetchTime, lastPeriodEnd: cfg.lastPeriodEnd, completedPeriods: cfg.completedPeriods,
+	}
+	t.wake = func() {
+		t.fetchStart = t.env.Now()
+		t.fetch.Start()
+	}
+	t.fetch = model.NewEnsembleFetch(cfg.backend, cfg.nodes, cfg.sizeMB, func() {
+		now := t.env.Now()
+		t.fetchTime.Add(now - t.fetchStart)
+		*t.lastPeriodEnd = now
+		*t.completedPeriods++
+		t.i++
+		if t.i < t.periods {
+			t.env.After(t.sleepS, t.wake)
+		}
+	})
+	env.At(env.Now(), func() {
+		if t.periods > 0 {
+			t.env.After(t.sleepS, t.wake)
+		}
+	})
+	return t
+}

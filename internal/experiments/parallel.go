@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SweepWorkers caps the worker pool used to fan independent sweep points
+// across cores; 0 (the default) uses GOMAXPROCS, 1 forces serial
+// execution. Each sweep point builds its own isolated des.Env and
+// cost model, runs single-threaded and bit-deterministic, and writes
+// only its own result slot — so results are identical at any worker
+// count and the slice order never depends on scheduling.
+var SweepWorkers int
+
+// sweepParallel evaluates run(0..n-1) on a bounded worker pool and
+// returns the results in index order.
+func sweepParallel[T any](n int, run func(i int) T) []T {
+	out := make([]T, n)
+	workers := SweepWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range out {
+			out[i] = run(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -86,6 +86,8 @@ type Pattern1Point struct {
 // ranks and 6 trainer ranks per node, fully asynchronous staging through
 // the chosen backend, and returns throughput/time-per-event statistics
 // averaged over all processes and events (the paper's methodology).
+// Ranks run as flat callback state machines (see flat.go), so a 512-node
+// point costs no goroutines and no steady-state allocations.
 func RunPattern1(cfg Pattern1Config) Pattern1Point {
 	cfg = cfg.withDefaults()
 	spec := cluster.Aurora(cfg.Nodes)
@@ -103,19 +105,15 @@ func RunPattern1(cfg Pattern1Config) Pattern1Point {
 	bytes := int64(cfg.SizeMB * 1e6)
 
 	for node := 0; node < cfg.Nodes; node++ {
-		node := node
 		// Simulation ranks: write one snapshot per write period. The
 		// compute between writes is a single virtual sleep (iteration
 		// timing is deterministic, so batching sleeps loses nothing).
 		for r := 0; r < place.SimTilesPerNode; r++ {
-			env.Spawn("sim", func(p *des.Proc) {
-				period := float64(cfg.WritePeriod) * cfg.SimIterS
-				for p.Now() < horizon {
-					p.Sleep(period)
-					d := model.LocalWrite(p, cfg.Backend, node, cfg.SizeMB)
-					writeTime.Add(d)
-					writeTput.Add(bytes, d)
-				}
+			newSimWriter(env, model, simWriterConfig{
+				backend: cfg.Backend, node: node, sizeMB: cfg.SizeMB,
+				period:  float64(cfg.WritePeriod) * cfg.SimIterS,
+				horizon: horizon, bytes: bytes,
+				time: &writeTime, tput: &writeTput,
 			})
 		}
 		// Trainer ranks: read one snapshot per read period, but only
@@ -123,25 +121,16 @@ func RunPattern1(cfg Pattern1Config) Pattern1Point {
 		// asynchronous polling of the real workflow (most polls find
 		// nothing new; those cost no transfer).
 		for r := 0; r < place.AITilesPerNode; r++ {
-			env.Spawn("ai", func(p *des.Proc) {
-				readPeriod := float64(cfg.ReadPeriod) * cfg.TrainIterS
-				writePeriod := float64(cfg.WritePeriod) * cfg.SimIterS
-				lastRead := -writePeriod
-				for p.Now() < horizon {
-					p.Sleep(readPeriod)
-					if p.Now()-lastRead < writePeriod {
-						continue // no new snapshot staged yet
-					}
-					lastRead = p.Now()
-					d := model.LocalRead(p, cfg.Backend, node, cfg.SizeMB)
-					readTime.Add(d)
-					readTput.Add(bytes, d)
-				}
+			newAIReader(env, model, aiReaderConfig{
+				backend: cfg.Backend, node: node, sizeMB: cfg.SizeMB,
+				readPeriod:  float64(cfg.ReadPeriod) * cfg.TrainIterS,
+				writePeriod: float64(cfg.WritePeriod) * cfg.SimIterS,
+				horizon:     horizon, bytes: bytes,
+				time: &readTime, tput: &readTput,
 			})
 		}
 	}
 	env.RunUntil(horizon * 1.5)
-	env.Shutdown() // release processes parked beyond the horizon
 
 	return Pattern1Point{
 		Nodes:     cfg.Nodes,
@@ -164,17 +153,18 @@ var Fig3Sizes = []float64{0.4, 2, 8, 32}
 // Fig3NodeCounts are the two scales shown in Fig 3.
 var Fig3NodeCounts = []int{8, 512}
 
-// RunFig3 sweeps all backends and sizes at the given node count.
+// RunFig3 sweeps all backends and sizes at the given node count,
+// fanning the independent points across cores (see SweepWorkers).
 func RunFig3(nodes, trainIters int) []Pattern1Point {
-	var points []Pattern1Point
+	var cfgs []Pattern1Config
 	for _, b := range datastore.Backends() {
 		for _, size := range Fig3Sizes {
-			points = append(points, RunPattern1(Pattern1Config{
+			cfgs = append(cfgs, Pattern1Config{
 				Nodes: nodes, Backend: b, SizeMB: size, TrainIters: trainIters,
-			}))
+			})
 		}
 	}
-	return points
+	return sweepParallel(len(cfgs), func(i int) Pattern1Point { return RunPattern1(cfgs[i]) })
 }
 
 // PrintFig3 renders Fig-3-style rows: per-process read and write
@@ -195,17 +185,17 @@ func PrintFig3(w io.Writer, nodes int, points []Pattern1Point) {
 var Fig4Backends = []datastore.Backend{datastore.NodeLocal, datastore.FileSystem}
 
 // RunFig4 reuses the Pattern 1 harness for the compute-vs-transport
-// comparison of Fig 4.
+// comparison of Fig 4, with the same parallel fan-out as RunFig3.
 func RunFig4(nodes, trainIters int) []Pattern1Point {
-	var points []Pattern1Point
+	var cfgs []Pattern1Config
 	for _, b := range Fig4Backends {
 		for _, size := range Fig3Sizes {
-			points = append(points, RunPattern1(Pattern1Config{
+			cfgs = append(cfgs, Pattern1Config{
 				Nodes: nodes, Backend: b, SizeMB: size, TrainIters: trainIters,
-			}))
+			})
 		}
 	}
-	return points
+	return sweepParallel(len(cfgs), func(i int) Pattern1Point { return RunPattern1(cfgs[i]) })
 }
 
 // PrintFig4 renders Fig-4-style rows: mean time per event for compute

@@ -50,17 +50,10 @@ func RunFig5(cfg Fig5Config) Fig5Point {
 	model := costmodel.New(env, spec, params)
 	bytes := int64(cfg.SizeMB * 1e6)
 
+	// One flat chain alternates the local write on node 0 with the
+	// remote AI read over the fabric (see flat.go).
 	var writeTput, readTput stats.Throughput
-	env.Spawn("pair", func(p *des.Proc) {
-		for i := 0; i < cfg.Transfers; i++ {
-			// Simulation writes locally on node 0...
-			d := model.LocalWrite(p, cfg.Backend, 0, cfg.SizeMB)
-			writeTput.Add(bytes, d)
-			// ...then the remote AI process reads it over the fabric.
-			d = model.RemoteReadOne(p, cfg.Backend, cfg.SizeMB)
-			readTput.Add(bytes, d)
-		}
-	})
+	newFig5Pair(env, model, cfg.Backend, cfg.SizeMB, cfg.Transfers, bytes, &writeTput, &readTput)
 	env.Run()
 	return Fig5Point{
 		Backend:   cfg.Backend,
@@ -73,15 +66,15 @@ func RunFig5(cfg Fig5Config) Fig5Point {
 // Fig5Sizes spans the paper's log-scale x axis (10^0 .. ~10^2 MB).
 var Fig5Sizes = []float64{0.4, 1, 4, 10, 32, 128}
 
-// RunFig5Sweep runs the full Fig 5 grid.
+// RunFig5Sweep runs the full Fig 5 grid, one worker per point.
 func RunFig5Sweep(transfers int) []Fig5Point {
-	var points []Fig5Point
+	var cfgs []Fig5Config
 	for _, b := range Pattern2Backends {
 		for _, size := range Fig5Sizes {
-			points = append(points, RunFig5(Fig5Config{Backend: b, SizeMB: size, Transfers: transfers}))
+			cfgs = append(cfgs, Fig5Config{Backend: b, SizeMB: size, Transfers: transfers})
 		}
 	}
-	return points
+	return sweepParallel(len(cfgs), func(i int) Fig5Point { return RunFig5(cfgs[i]) })
 }
 
 // PrintFig5 renders Fig-5-style rows.
@@ -166,13 +159,10 @@ func RunFig6(cfg Fig6Config) Fig6Point {
 	// period. For the file-system backend these writes land on the shared
 	// Lustre model and contribute real MDS/OST load.
 	for node := 0; node < cfg.Nodes; node++ {
-		node := node
-		env.Spawn("sim", func(p *des.Proc) {
-			period := float64(cfg.WritePeriod) * cfg.SimIterS
-			for p.Now() < horizon {
-				p.Sleep(period)
-				model.LocalWrite(p, cfg.Backend, node, cfg.SizeMB)
-			}
+		newSimWriter(env, model, simWriterConfig{
+			backend: cfg.Backend, node: node, sizeMB: cfg.SizeMB,
+			period:  float64(cfg.WritePeriod) * cfg.SimIterS,
+			horizon: horizon,
 		})
 	}
 
@@ -182,18 +172,13 @@ func RunFig6(cfg Fig6Config) Fig6Point {
 	// (Redis at the largest sizes) does not finish within the horizon.
 	var lastPeriodEnd float64
 	completedPeriods := 0
-	env.Spawn("trainer", func(p *des.Proc) {
-		periods := cfg.TrainIters / cfg.ReadPeriod
-		for i := 0; i < periods; i++ {
-			p.Sleep(float64(cfg.ReadPeriod) * cfg.TrainIterS)
-			d := model.FetchAll(p, cfg.Backend, cfg.Nodes, cfg.SizeMB)
-			fetchTime.Add(d)
-			lastPeriodEnd = p.Now()
-			completedPeriods++
-		}
+	newFig6Trainer(env, model, fig6TrainerConfig{
+		backend: cfg.Backend, nodes: cfg.Nodes, sizeMB: cfg.SizeMB,
+		periods:   cfg.TrainIters / cfg.ReadPeriod,
+		sleepS:    float64(cfg.ReadPeriod) * cfg.TrainIterS,
+		fetchTime: &fetchTime, lastPeriodEnd: &lastPeriodEnd, completedPeriods: &completedPeriods,
 	})
 	env.RunUntil(horizon)
-	env.Shutdown() // release simulation processes still parked
 
 	execPerIter := 0.0
 	if completedPeriods > 0 {
@@ -214,17 +199,18 @@ var Fig6Sizes = []float64{0.4, 1, 4, 10, 32, 128}
 // Fig6NodeCounts are the two ensemble scales of Fig 6.
 var Fig6NodeCounts = []int{8, 128}
 
-// RunFig6Sweep runs the full grid at one node count.
+// RunFig6Sweep runs the full grid at one node count, one worker per
+// point.
 func RunFig6Sweep(nodes, trainIters int) []Fig6Point {
-	var points []Fig6Point
+	var cfgs []Fig6Config
 	for _, b := range Pattern2Backends {
 		for _, size := range Fig6Sizes {
-			points = append(points, RunFig6(Fig6Config{
+			cfgs = append(cfgs, Fig6Config{
 				Nodes: nodes, Backend: b, SizeMB: size, TrainIters: trainIters,
-			}))
+			})
 		}
 	}
-	return points
+	return sweepParallel(len(cfgs), func(i int) Fig6Point { return RunFig6(cfgs[i]) })
 }
 
 // PrintFig6 renders Fig-6-style rows.
