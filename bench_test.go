@@ -11,12 +11,14 @@
 package bench
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"testing"
 
 	"simaibench/internal/datastore"
 	"simaibench/internal/experiments"
+	"simaibench/internal/sweep"
 )
 
 // sweepWorkers fans the independent points of the Fig 3/4/5/6 sweeps
@@ -27,7 +29,7 @@ var sweepWorkers = flag.Int("sweepworkers", 0, "parallel sweep workers for the f
 
 func TestMain(m *testing.M) {
 	flag.Parse()
-	experiments.SweepWorkers = *sweepWorkers
+	sweep.Workers = *sweepWorkers
 	m.Run()
 }
 
@@ -50,11 +52,11 @@ func validationCfg(mode experiments.ValidationMode) experiments.ValidationConfig
 // comparison between the emulated original workflow and the mini-app.
 func BenchmarkTable2Validation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		orig, err := experiments.RunValidation(validationCfg(experiments.Original))
+		orig, err := experiments.RunValidation(context.Background(), validationCfg(experiments.Original))
 		if err != nil {
 			b.Fatal(err)
 		}
-		mini, err := experiments.RunValidation(validationCfg(experiments.MiniApp))
+		mini, err := experiments.RunValidation(context.Background(), validationCfg(experiments.MiniApp))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,11 +71,11 @@ func BenchmarkTable2Validation(b *testing.B) {
 // mean/std for both modes.
 func BenchmarkTable3IterationStats(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		orig, err := experiments.RunValidation(validationCfg(experiments.Original))
+		orig, err := experiments.RunValidation(context.Background(), validationCfg(experiments.Original))
 		if err != nil {
 			b.Fatal(err)
 		}
-		mini, err := experiments.RunValidation(validationCfg(experiments.MiniApp))
+		mini, err := experiments.RunValidation(context.Background(), validationCfg(experiments.MiniApp))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +89,7 @@ func BenchmarkTable3IterationStats(b *testing.B) {
 // BenchmarkFig2Timeline regenerates Fig 2: the execution-timeline
 // rendering of a validation run.
 func BenchmarkFig2Timeline(b *testing.B) {
-	res, err := experiments.RunValidation(validationCfg(experiments.MiniApp))
+	res, err := experiments.RunValidation(context.Background(), validationCfg(experiments.MiniApp))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -112,7 +114,11 @@ func BenchmarkFig3Throughput(b *testing.B) {
 		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
 			var points []experiments.Pattern1Point
 			for i := 0; i < b.N; i++ {
-				points = experiments.RunFig3(nodes, 300)
+				var err error
+				points, err = experiments.RunFig3(context.Background(), nodes, 300)
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 			for _, pt := range points {
 				if pt.SizeMB == 8 {
@@ -130,7 +136,11 @@ func BenchmarkFig4ComputeVsTransport(b *testing.B) {
 		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
 			var points []experiments.Pattern1Point
 			for i := 0; i < b.N; i++ {
-				points = experiments.RunFig4(nodes, 300)
+				var err error
+				points, err = experiments.RunFig4(context.Background(), nodes, 300)
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 			for _, pt := range points {
 				if pt.SizeMB == 32 {
@@ -146,7 +156,11 @@ func BenchmarkFig4ComputeVsTransport(b *testing.B) {
 func BenchmarkFig5NonLocalThroughput(b *testing.B) {
 	var points []experiments.Fig5Point
 	for i := 0; i < b.N; i++ {
-		points = experiments.RunFig5Sweep(30)
+		var err error
+		points, err = experiments.RunFig5Sweep(context.Background(), 30)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, pt := range points {
 		if pt.SizeMB == 10 {
@@ -162,7 +176,11 @@ func BenchmarkFig6ManyToOne(b *testing.B) {
 		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
 			var points []experiments.Fig6Point
 			for i := 0; i < b.N; i++ {
-				points = experiments.RunFig6Sweep(nodes, 200)
+				var err error
+				points, err = experiments.RunFig6Sweep(context.Background(), nodes, 200)
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 			for _, pt := range points {
 				if pt.SizeMB == 1 {
@@ -178,7 +196,11 @@ func BenchmarkFig6ManyToOne(b *testing.B) {
 func BenchmarkAblationIncast(b *testing.B) {
 	var points []experiments.IncastAblationPoint
 	for i := 0; i < b.N; i++ {
-		points = experiments.RunIncastAblation([]float64{0, 0.010}, 100)
+		var err error
+		points, err = experiments.RunIncastAblation(context.Background(), []float64{0, 0.010}, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, pt := range points {
 		if pt.SizeMB == 1 {
@@ -194,7 +216,7 @@ func BenchmarkStreamingExtension(b *testing.B) {
 	var points []experiments.StreamingPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		points, err = experiments.RunStreamingComparison(experiments.StreamingConfig{
+		points, err = experiments.RunStreamingComparison(context.Background(), experiments.StreamingConfig{
 			SizeMB: 1, Snapshots: 10,
 		})
 		if err != nil {

@@ -1,133 +1,150 @@
-// Command experiments regenerates the tables and figures of the paper's
-// evaluation section. Each experiment id maps to one artifact:
+// Command experiments runs the registered scenarios that regenerate the
+// tables and figures of the paper's evaluation section, plus this
+// reproduction's extensions. Scenarios live in a registry (see
+// internal/scenario); discover them with
 //
-//	table2  event-count validation (original vs mini-app)
-//	table3  iteration-time statistics
-//	fig2    execution timelines (ASCII)
-//	fig3    Pattern 1 throughput sweep (8 and 512 nodes)
-//	fig4    Pattern 1 compute vs transport time
-//	fig5    Pattern 2 two-node non-local throughput
-//	fig6    Pattern 2 many-to-one scaling (8 and 128 nodes)
-//	all     everything above in order
+//	experiments -list
 //
-// The validation experiments run in real mode (actual data movement on
-// this machine, time-compressed); the scale experiments run on the
-// simulated Aurora cluster. See EXPERIMENTS.md for paper-vs-measured.
+// and run one (or a group like "all", the paper's core artifacts) with
+//
+//	experiments -exp fig3                 # paper-identical text tables
+//	experiments -exp fig3 -format json    # machine-readable per-point records
+//	experiments -exp all -format csv -o results.csv
+//
+// The validation scenarios (table2, table3, fig2) run in real mode
+// (actual data movement on this machine, time-compressed); the scale
+// scenarios run on the simulated Aurora cluster. Progress goes to
+// stderr so -format json|csv output stays parseable. See EXPERIMENTS.md
+// for paper-vs-measured and for how to add a new scenario.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 
-	"simaibench/internal/experiments"
+	"simaibench/internal/experiments" // registers the paper's scenarios
+	"simaibench/internal/scenario"
+	"simaibench/internal/sweep"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2|table3|fig2|fig3|fig4|fig5|fig6|streaming|ablation|all")
+	exp := flag.String("exp", "all", "experiment id or group (see -list)")
+	list := flag.Bool("list", false, "list registered scenarios and groups, then exit")
+	format := flag.String("format", "text", "output format: text|json|csv")
+	out := flag.String("o", "", "write output to FILE (default stdout)")
 	trainIters := flag.Int("train-iters", 2500, "validation training iterations (paper: 5000)")
 	sweepIters := flag.Int("sweep-iters", 600, "simulated training iterations per sweep point")
 	timeScale := flag.Float64("time-scale", 0.01, "wall-clock compression for real-mode validation")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial); results are identical at any setting")
 	flag.Parse()
 
-	experiments.SweepWorkers = *parallel
-	if err := run(*exp, *trainIters, *sweepIters, *timeScale); err != nil {
+	sweep.Workers = *parallel
+	if *list {
+		printList(os.Stdout)
+		return
+	}
+	params := scenario.Params{
+		TrainIters: *trainIters,
+		SweepIters: *sweepIters,
+		TimeScale:  *timeScale,
+	}
+	if err := run(*exp, *format, *out, params); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, trainIters, sweepIters int, timeScale float64) error {
-	out := os.Stdout
-	needsValidation := exp == "table2" || exp == "table3" || exp == "fig2" || exp == "all"
-
-	var orig, mini *experiments.ValidationResult
-	if needsValidation {
-		var err error
-		fmt.Fprintf(out, "running validation (%d training iterations, time scale %g)...\n",
-			trainIters, timeScale)
-		orig, err = experiments.RunValidation(experiments.ValidationConfig{
-			Mode: experiments.Original, TrainIters: trainIters, TimeScale: timeScale,
-		})
-		if err != nil {
-			return err
-		}
-		mini, err = experiments.RunValidation(experiments.ValidationConfig{
-			Mode: experiments.MiniApp, TrainIters: trainIters, TimeScale: timeScale,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out)
+// printList enumerates the registry: every scenario id with its
+// description, then the runnable groups.
+func printList(w io.Writer) {
+	fmt.Fprintln(w, "Scenarios:")
+	for _, s := range scenario.All() {
+		fmt.Fprintf(w, "  %-10s %s\n", s.Name(), s.Description())
 	}
-
-	switch exp {
-	case "table2":
-		experiments.PrintTable2(out, orig, mini)
-	case "table3":
-		experiments.PrintTable3(out, orig, mini)
-	case "fig2":
-		return experiments.PrintFig2(out, orig, mini, 25)
-	case "fig3":
-		for _, nodes := range experiments.Fig3NodeCounts {
-			experiments.PrintFig3(out, nodes, experiments.RunFig3(nodes, sweepIters))
-			fmt.Fprintln(out)
-		}
-	case "fig4":
-		for _, nodes := range experiments.Fig3NodeCounts {
-			experiments.PrintFig4(out, nodes, experiments.RunFig4(nodes, sweepIters))
-			fmt.Fprintln(out)
-		}
-	case "fig5":
-		experiments.PrintFig5(out, experiments.RunFig5Sweep(50))
-	case "fig6":
-		for _, nodes := range experiments.Fig6NodeCounts {
-			experiments.PrintFig6(out, nodes, experiments.RunFig6Sweep(nodes, sweepIters))
-			fmt.Fprintln(out)
-		}
-	case "streaming":
-		for _, size := range []float64{0.4, 2, 8} {
-			points, err := experiments.RunStreamingComparison(experiments.StreamingConfig{SizeMB: size})
-			if err != nil {
-				return err
+	fmt.Fprintln(w, "Groups:")
+	for _, g := range scenario.Groups() {
+		members, _ := scenario.Resolve(g)
+		fmt.Fprintf(w, "  %-10s", g)
+		for i, m := range members {
+			if i > 0 {
+				fmt.Fprint(w, " ")
 			}
-			experiments.PrintStreaming(out, points)
-			fmt.Fprintln(out)
+			fmt.Fprint(w, m.Name())
 		}
-	case "ablation":
-		experiments.PrintMDSAblation(out, experiments.RunMDSAblation(
-			[]float64{0.00001, 0.0001, 0.0004, 0.0016}, sweepIters))
-		fmt.Fprintln(out)
-		experiments.PrintCacheAblation(out, experiments.RunCacheAblation(
-			[]float64{2, 8.75, 35, 1000}, sweepIters))
-		fmt.Fprintln(out)
-		experiments.PrintIncastAblation(out, experiments.RunIncastAblation(
-			[]float64{0, 0.002, 0.010, 0.040}, sweepIters))
-	case "all":
-		experiments.PrintTable2(out, orig, mini)
-		fmt.Fprintln(out)
-		experiments.PrintTable3(out, orig, mini)
-		fmt.Fprintln(out)
-		if err := experiments.PrintFig2(out, orig, mini, 25); err != nil {
+		fmt.Fprintln(w)
+	}
+}
+
+func run(exp, format, outPath string, params scenario.Params) error {
+	scenarios, err := scenario.Resolve(exp)
+	if err != nil {
+		return err
+	}
+	reporter, err := scenario.NewReporter(format)
+	if err != nil {
+		return err
+	}
+
+	// Open the output first so a bad -o path fails before minutes of
+	// sweeps, not after.
+	w := io.Writer(os.Stdout)
+	var outFile *os.File
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
 			return err
 		}
-		for _, nodes := range experiments.Fig3NodeCounts {
-			experiments.PrintFig3(out, nodes, experiments.RunFig3(nodes, sweepIters))
-			fmt.Fprintln(out)
-		}
-		for _, nodes := range experiments.Fig3NodeCounts {
-			experiments.PrintFig4(out, nodes, experiments.RunFig4(nodes, sweepIters))
-			fmt.Fprintln(out)
-		}
-		experiments.PrintFig5(out, experiments.RunFig5Sweep(50))
-		fmt.Fprintln(out)
-		for _, nodes := range experiments.Fig6NodeCounts {
-			experiments.PrintFig6(out, nodes, experiments.RunFig6Sweep(nodes, sweepIters))
-			fmt.Fprintln(out)
-		}
-	default:
-		return fmt.Errorf("unknown experiment %q", exp)
+		outFile = f
+		w = f
 	}
-	return nil
+
+	// Ctrl-C cancels the in-flight scenario instead of killing the
+	// process mid-write; stop() restores default signal handling as soon
+	// as the first interrupt lands, so a second Ctrl-C kills outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	// Scenarios sharing this run share one validation measurement per
+	// configuration (table2/table3/fig2 in -exp all).
+	ctx = experiments.WithValidationCache(ctx)
+
+	var results []*scenario.Result
+	var runErr error
+	for _, s := range scenarios {
+		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.Name(), s.Description())
+		res, err := s.Run(ctx, params)
+		if err != nil {
+			runErr = fmt.Errorf("%s: %w", s.Name(), err)
+			break
+		}
+		results = append(results, res)
+	}
+
+	// Report whatever completed even when a later scenario failed or was
+	// cancelled: minutes of finished sweeps should never be discarded.
+	if len(results) > 0 {
+		if err := reporter.Report(w, results); err != nil {
+			if runErr == nil {
+				runErr = err
+			}
+			return runErr
+		}
+		if runErr != nil {
+			fmt.Fprintln(os.Stderr, "experiments: reported partial results:", runErr)
+		}
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	return runErr
 }

@@ -5,13 +5,20 @@
 // useful for sanity-checking the relative cost of protocol overhead
 // (Redis RESP vs Dragon binary framing vs rename-based file staging).
 //
-//	go run ./examples/backend-sweep [-repeats 20]
+// With -model, the registered "fig3" scenario runs afterwards through
+// the public registry API (pkg/simaibench), printing the modeled Aurora
+// numbers next to the measured ones — the programmatic equivalent of
+// `go run ./cmd/experiments -exp fig3`.
+//
+//	go run ./examples/backend-sweep [-repeats 20] [-model] [-model-iters 100]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"simaibench/pkg/simaibench"
@@ -19,6 +26,8 @@ import (
 
 func main() {
 	repeats := flag.Int("repeats", 20, "transfers per (backend, size) cell")
+	model := flag.Bool("model", false, "also run the registered fig3 scenario (simulated Aurora) for comparison")
+	modelIters := flag.Int("model-iters", 100, "simulated training iterations per modeled sweep point")
 	flag.Parse()
 
 	sizes := []int{400_000, 2_000_000, 8_000_000, 32_000_000} // the paper's 0.4–32 MB
@@ -59,5 +68,20 @@ func main() {
 		}
 		store.Close()
 		mgr.Stop()
+	}
+
+	if !*model {
+		return
+	}
+	// The modeled counterpart, through the same registry the CLI uses:
+	// enumerate, look up, run, report.
+	fmt.Println("\nModeled (simulated Aurora partition), via the scenario registry:")
+	res, err := simaibench.RunScenario(context.Background(), "fig3",
+		simaibench.ScenarioParams{SweepIters: *modelIters})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := simaibench.ReportResults(os.Stdout, "text", res); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 	"io"
 
 	"simaibench/internal/costmodel"
 	"simaibench/internal/datastore"
+	"simaibench/internal/scenario"
+	"simaibench/internal/sweep"
 )
 
 // Ablations probe the cost-model mechanisms behind the paper's three
@@ -31,36 +33,38 @@ type MDSAblationPoint struct {
 
 // RunMDSAblation sweeps the MDS service time at both Fig 3 scales,
 // measuring the Pattern 1 file-system write time at 8 MB.
-func RunMDSAblation(services []float64, trainIters int) []MDSAblationPoint {
-	type cell struct {
-		svc   float64
-		nodes int
-	}
-	var cells []cell
-	for _, svc := range services {
-		for _, nodes := range []int{8, 512} {
-			cells = append(cells, cell{svc, nodes})
-		}
-	}
-	return sweepParallel(len(cells), func(i int) MDSAblationPoint {
-		c := cells[i]
-		params := costmodel.Default()
-		params.LustreMDSServiceS = c.svc
-		pt := RunPattern1(Pattern1Config{
-			Nodes: c.nodes, Backend: datastore.FileSystem, SizeMB: 8,
-			TrainIters: trainIters, Params: &params,
+func RunMDSAblation(ctx context.Context, services []float64, trainIters int) ([]MDSAblationPoint, error) {
+	return sweep.Grid(ctx, services, []int{8, 512},
+		func(svc float64, nodes int) MDSAblationPoint {
+			params := costmodel.Default()
+			params.LustreMDSServiceS = svc
+			pt := RunPattern1(Pattern1Config{
+				Nodes: nodes, Backend: datastore.FileSystem, SizeMB: 8,
+				TrainIters: trainIters, Params: &params,
+			})
+			return MDSAblationPoint{MDSServiceS: svc, Nodes: nodes, WriteMeanS: pt.WriteMean}
 		})
-		return MDSAblationPoint{MDSServiceS: c.svc, Nodes: c.nodes, WriteMeanS: pt.WriteMean}
-	})
+}
+
+// mdsAblationTable structures the sweep for the reporters.
+func mdsAblationTable(points []MDSAblationPoint) scenario.Table {
+	t := scenario.Table{
+		Title: "Ablation — Lustre MDS service time vs FS write latency (Pattern 1, 8 MB)",
+		Columns: []scenario.Column{
+			{Key: "mds_svc_ms", Head: "mds-svc(ms)", HeadFmt: "%14s", CellFmt: "%14.2f"},
+			{Key: "nodes", Head: "nodes", HeadFmt: "%8s", CellFmt: "%8d"},
+			{Key: "write_mean_s", Head: "write-mean(s)", HeadFmt: "%14s", CellFmt: "%14.4f"},
+		},
+	}
+	for _, pt := range points {
+		t.Rows = append(t.Rows, []any{pt.MDSServiceS * 1000, pt.Nodes, pt.WriteMeanS})
+	}
+	return t
 }
 
 // PrintMDSAblation renders the sweep.
 func PrintMDSAblation(w io.Writer, points []MDSAblationPoint) {
-	fmt.Fprintln(w, "Ablation — Lustre MDS service time vs FS write latency (Pattern 1, 8 MB)")
-	fmt.Fprintf(w, "%14s %8s %14s\n", "mds-svc(ms)", "nodes", "write-mean(s)")
-	for _, pt := range points {
-		fmt.Fprintf(w, "%14.2f %8d %14.4f\n", pt.MDSServiceS*1000, pt.Nodes, pt.WriteMeanS)
-	}
+	_ = scenario.WriteTable(w, mdsAblationTable(points))
 }
 
 // CacheAblationPoint is one (cache share, size) node-local measurement.
@@ -72,33 +76,38 @@ type CacheAblationPoint struct {
 
 // RunCacheAblation sweeps the per-process cache share and measures the
 // node-local write throughput profile across the Fig 3 sizes.
-func RunCacheAblation(shares []float64, trainIters int) []CacheAblationPoint {
-	type cell struct{ share, size float64 }
-	var cells []cell
-	for _, share := range shares {
-		for _, size := range Fig3Sizes {
-			cells = append(cells, cell{share, size})
-		}
-	}
-	return sweepParallel(len(cells), func(i int) CacheAblationPoint {
-		c := cells[i]
-		params := costmodel.Default()
-		params.CacheShareMB = c.share
-		pt := RunPattern1(Pattern1Config{
-			Nodes: 8, Backend: datastore.NodeLocal, SizeMB: c.size,
-			TrainIters: trainIters, Params: &params,
+func RunCacheAblation(ctx context.Context, shares []float64, trainIters int) ([]CacheAblationPoint, error) {
+	return sweep.Grid(ctx, shares, Fig3Sizes,
+		func(share, size float64) CacheAblationPoint {
+			params := costmodel.Default()
+			params.CacheShareMB = share
+			pt := RunPattern1(Pattern1Config{
+				Nodes: 8, Backend: datastore.NodeLocal, SizeMB: size,
+				TrainIters: trainIters, Params: &params,
+			})
+			return CacheAblationPoint{CacheShareMB: share, SizeMB: size, WriteGBps: pt.WriteGBps}
 		})
-		return CacheAblationPoint{CacheShareMB: c.share, SizeMB: c.size, WriteGBps: pt.WriteGBps}
-	})
+}
+
+// cacheAblationTable structures the sweep for the reporters.
+func cacheAblationTable(points []CacheAblationPoint) scenario.Table {
+	t := scenario.Table{
+		Title: "Ablation — per-process L3 share vs node-local throughput profile (Pattern 1, 8 nodes)",
+		Columns: []scenario.Column{
+			{Key: "share_mb", Head: "share(MB)", HeadFmt: "%14s", CellFmt: "%14.1f"},
+			{Key: "size_mb", Head: "size(MB)", HeadFmt: "%10s", CellFmt: "%10.2f"},
+			{Key: "write_gbps", Head: "write(GB/s)", HeadFmt: "%14s", CellFmt: "%14.3f"},
+		},
+	}
+	for _, pt := range points {
+		t.Rows = append(t.Rows, []any{pt.CacheShareMB, pt.SizeMB, pt.WriteGBps})
+	}
+	return t
 }
 
 // PrintCacheAblation renders the sweep.
 func PrintCacheAblation(w io.Writer, points []CacheAblationPoint) {
-	fmt.Fprintln(w, "Ablation — per-process L3 share vs node-local throughput profile (Pattern 1, 8 nodes)")
-	fmt.Fprintf(w, "%14s %10s %14s\n", "share(MB)", "size(MB)", "write(GB/s)")
-	for _, pt := range points {
-		fmt.Fprintf(w, "%14.1f %10.2f %14.3f\n", pt.CacheShareMB, pt.SizeMB, pt.WriteGBps)
-	}
+	_ = scenario.WriteTable(w, cacheAblationTable(points))
 }
 
 // IncastAblationPoint is one (incast latency, size) Pattern 2 comparison.
@@ -113,39 +122,44 @@ type IncastAblationPoint struct {
 // nodes, comparing the trainer's ensemble-fetch time against the file
 // system's. With the latency ablated to ~zero, Dragon's point-to-point
 // advantage should reassert itself at small messages.
-func RunIncastAblation(latencies []float64, trainIters int) []IncastAblationPoint {
-	type cell struct{ lat, size float64 }
-	var cells []cell
-	for _, lat := range latencies {
-		for _, size := range []float64{1, 10, 128} {
-			cells = append(cells, cell{lat, size})
-		}
+func RunIncastAblation(ctx context.Context, latencies []float64, trainIters int) ([]IncastAblationPoint, error) {
+	return sweep.Grid(ctx, latencies, []float64{1, 10, 128},
+		func(lat, size float64) IncastAblationPoint {
+			params := costmodel.Default()
+			params.DragonIncastLatencyS = lat
+			dr := RunFig6(Fig6Config{
+				Nodes: 128, Backend: datastore.Dragon, SizeMB: size,
+				TrainIters: trainIters, Params: &params,
+			})
+			fs := RunFig6(Fig6Config{
+				Nodes: 128, Backend: datastore.FileSystem, SizeMB: size,
+				TrainIters: trainIters, Params: &params,
+			})
+			return IncastAblationPoint{
+				IncastLatencyS: lat, SizeMB: size,
+				DragonFetchS: dr.FetchMeanS, FSFetchS: fs.FetchMeanS,
+			}
+		})
+}
+
+// incastAblationTable structures the sweep for the reporters.
+func incastAblationTable(points []IncastAblationPoint) scenario.Table {
+	t := scenario.Table{
+		Title: "Ablation — Dragon incast latency vs many-to-one fetch time (128 nodes)",
+		Columns: []scenario.Column{
+			{Key: "incast_lat_ms", Head: "incast-lat(ms)", HeadFmt: "%16s", CellFmt: "%16.1f"},
+			{Key: "size_mb", Head: "size(MB)", HeadFmt: "%10s", CellFmt: "%10.2f"},
+			{Key: "dragon_fetch_s", Head: "dragon-fetch(s)", HeadFmt: "%16s", CellFmt: "%16.4f"},
+			{Key: "fs_fetch_s", Head: "fs-fetch(s)", HeadFmt: "%14s", CellFmt: "%14.4f"},
+		},
 	}
-	return sweepParallel(len(cells), func(i int) IncastAblationPoint {
-		c := cells[i]
-		params := costmodel.Default()
-		params.DragonIncastLatencyS = c.lat
-		dr := RunFig6(Fig6Config{
-			Nodes: 128, Backend: datastore.Dragon, SizeMB: c.size,
-			TrainIters: trainIters, Params: &params,
-		})
-		fs := RunFig6(Fig6Config{
-			Nodes: 128, Backend: datastore.FileSystem, SizeMB: c.size,
-			TrainIters: trainIters, Params: &params,
-		})
-		return IncastAblationPoint{
-			IncastLatencyS: c.lat, SizeMB: c.size,
-			DragonFetchS: dr.FetchMeanS, FSFetchS: fs.FetchMeanS,
-		}
-	})
+	for _, pt := range points {
+		t.Rows = append(t.Rows, []any{pt.IncastLatencyS * 1000, pt.SizeMB, pt.DragonFetchS, pt.FSFetchS})
+	}
+	return t
 }
 
 // PrintIncastAblation renders the sweep.
 func PrintIncastAblation(w io.Writer, points []IncastAblationPoint) {
-	fmt.Fprintln(w, "Ablation — Dragon incast latency vs many-to-one fetch time (128 nodes)")
-	fmt.Fprintf(w, "%16s %10s %16s %14s\n", "incast-lat(ms)", "size(MB)", "dragon-fetch(s)", "fs-fetch(s)")
-	for _, pt := range points {
-		fmt.Fprintf(w, "%16.1f %10.2f %16.4f %14.4f\n",
-			pt.IncastLatencyS*1000, pt.SizeMB, pt.DragonFetchS, pt.FSFetchS)
-	}
+	_ = scenario.WriteTable(w, incastAblationTable(points))
 }

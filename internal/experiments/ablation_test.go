@@ -10,7 +10,10 @@ func TestMDSAblationDrivesCollapse(t *testing.T) {
 	// The 512-node FS collapse must be caused by the MDS service time:
 	// with a near-zero service time the 8-vs-512-node gap shrinks
 	// drastically; with the default it is large.
-	points := RunMDSAblation([]float64{0.00001, 0.0004}, 200)
+	points, err := RunMDSAblation(bg, []float64{0.00001, 0.0004}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
 	get := func(svc float64, nodes int) float64 {
 		for _, pt := range points {
 			if pt.MDSServiceS == svc && pt.Nodes == nodes {
@@ -33,7 +36,10 @@ func TestMDSAblationDrivesCollapse(t *testing.T) {
 func TestCacheAblationMovesDip(t *testing.T) {
 	// With a huge cache share the 32 MB dip disappears (monotonic
 	// profile); with the default it is present.
-	points := RunCacheAblation([]float64{8.75, 1000}, 200)
+	points, err := RunCacheAblation(bg, []float64{8.75, 1000}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
 	get := func(share, size float64) float64 {
 		for _, pt := range points {
 			if pt.CacheShareMB == share && pt.SizeMB == size {
@@ -54,7 +60,10 @@ func TestCacheAblationMovesDip(t *testing.T) {
 func TestIncastAblationControlsCrossover(t *testing.T) {
 	// With incast latency ablated to zero, Dragon's small-message fetch
 	// should beat or match FS; with the default it clearly lags.
-	points := RunIncastAblation([]float64{0, 0.010}, 100)
+	points, err := RunIncastAblation(bg, []float64{0, 0.010}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	get := func(lat, size float64) (dragon, fs float64) {
 		for _, pt := range points {
 			if pt.IncastLatencyS == lat && pt.SizeMB == size {
@@ -76,9 +85,21 @@ func TestIncastAblationControlsCrossover(t *testing.T) {
 
 func TestAblationPrinters(t *testing.T) {
 	var buf bytes.Buffer
-	PrintMDSAblation(&buf, RunMDSAblation([]float64{0.0004}, 100))
-	PrintCacheAblation(&buf, RunCacheAblation([]float64{8.75}, 100))
-	PrintIncastAblation(&buf, RunIncastAblation([]float64{0.010}, 50))
+	mds, err := RunMDSAblation(bg, []float64{0.0004}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintMDSAblation(&buf, mds)
+	cache, err := RunCacheAblation(bg, []float64{8.75}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintCacheAblation(&buf, cache)
+	incast, err := RunIncastAblation(bg, []float64{0.010}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintIncastAblation(&buf, incast)
 	out := buf.String()
 	for _, want := range []string{"MDS service", "L3 share", "incast latency"} {
 		if !strings.Contains(out, want) {

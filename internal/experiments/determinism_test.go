@@ -8,6 +8,7 @@ import (
 	"simaibench/internal/datastore"
 	"simaibench/internal/des"
 	"simaibench/internal/stats"
+	"simaibench/internal/sweep"
 )
 
 // The flat-callback harnesses (flat.go) must be semantically identical
@@ -227,14 +228,20 @@ func TestFig6MatchesProcessReference(t *testing.T) {
 // results identical to serial execution, in the same order, at any
 // worker count.
 func TestSweepParallelismInvariant(t *testing.T) {
-	prev := SweepWorkers
-	defer func() { SweepWorkers = prev }()
+	prev := sweep.Workers
+	defer func() { sweep.Workers = prev }()
 
-	SweepWorkers = 1
-	serial := RunFig3(4, 80)
+	sweep.Workers = 1
+	serial, err := RunFig3(bg, 4, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, workers := range []int{2, 8} {
-		SweepWorkers = workers
-		got := RunFig3(4, 80)
+		sweep.Workers = workers
+		got, err := RunFig3(bg, 4, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(got) != len(serial) {
 			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(serial))
 		}

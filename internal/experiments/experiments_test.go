@@ -109,7 +109,10 @@ func TestPattern1EventCountsReasonable(t *testing.T) {
 }
 
 func TestPrintFig3Fig4(t *testing.T) {
-	points := RunFig3(8, 100)
+	points, err := RunFig3(bg, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	PrintFig3(&buf, 8, points)
 	out := buf.String()
@@ -119,7 +122,11 @@ func TestPrintFig3Fig4(t *testing.T) {
 		}
 	}
 	var buf4 bytes.Buffer
-	PrintFig4(&buf4, 8, RunFig4(8, 100))
+	fig4Points, err := RunFig4(bg, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig4(&buf4, 8, fig4Points)
 	if !strings.Contains(buf4.String(), "sim-iter(s)") {
 		t.Fatalf("fig4 output malformed:\n%s", buf4.String())
 	}
@@ -218,12 +225,20 @@ func TestFig6ExecTimeIncludesCompute(t *testing.T) {
 
 func TestPrintFig5Fig6(t *testing.T) {
 	var buf bytes.Buffer
-	PrintFig5(&buf, RunFig5Sweep(10))
+	fig5Points, err := RunFig5Sweep(bg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig5(&buf, fig5Points)
 	if !strings.Contains(buf.String(), "non-local read") {
 		t.Fatalf("fig5 output malformed:\n%s", buf.String())
 	}
 	var buf6 bytes.Buffer
-	PrintFig6(&buf6, 8, RunFig6Sweep(8, 100))
+	fig6Points, err := RunFig6Sweep(bg, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig6(&buf6, 8, fig6Points)
 	if !strings.Contains(buf6.String(), "exec/iter(s)") {
 		t.Fatalf("fig6 output malformed:\n%s", buf6.String())
 	}
@@ -234,7 +249,7 @@ func TestPrintFig5Fig6(t *testing.T) {
 // smallValidation runs a scaled-down validation quickly.
 func smallValidation(t *testing.T, mode ValidationMode) *ValidationResult {
 	t.Helper()
-	res, err := RunValidation(ValidationConfig{
+	res, err := RunValidation(bg, ValidationConfig{
 		Mode:         mode,
 		TrainIters:   300,
 		WritePeriod:  25,
@@ -346,7 +361,7 @@ func TestValidationAcrossBackends(t *testing.T) {
 	// event counts (transport *performance* differs; structure must not).
 	var results []*ValidationResult
 	for _, b := range []datastore.Backend{datastore.NodeLocal, datastore.Redis, datastore.Dragon} {
-		res, err := RunValidation(ValidationConfig{
+		res, err := RunValidation(bg, ValidationConfig{
 			Mode: MiniApp, TrainIters: 200, WritePeriod: 25, ReadPeriod: 5,
 			PayloadBytes: 20_000, TimeScale: 0.01, Backend: b,
 			SimInitS: 0.2, TrainInitS: 0.4,

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,7 +19,9 @@ import (
 	"simaibench/internal/costmodel"
 	"simaibench/internal/datastore"
 	"simaibench/internal/des"
+	"simaibench/internal/scenario"
 	"simaibench/internal/stats"
+	"simaibench/internal/sweep"
 )
 
 // Pattern1Config drives the Fig 3/4 sweep: the co-located one-to-one
@@ -154,31 +157,40 @@ var Fig3Sizes = []float64{0.4, 2, 8, 32}
 var Fig3NodeCounts = []int{8, 512}
 
 // RunFig3 sweeps all backends and sizes at the given node count,
-// fanning the independent points across cores (see SweepWorkers).
-func RunFig3(nodes, trainIters int) []Pattern1Point {
-	var cfgs []Pattern1Config
-	for _, b := range datastore.Backends() {
-		for _, size := range Fig3Sizes {
-			cfgs = append(cfgs, Pattern1Config{
+// fanning the independent points across cores (see sweep.Workers).
+func RunFig3(ctx context.Context, nodes, trainIters int) ([]Pattern1Point, error) {
+	return sweep.Grid(ctx, datastore.Backends(), Fig3Sizes,
+		func(b datastore.Backend, size float64) Pattern1Point {
+			return RunPattern1(Pattern1Config{
 				Nodes: nodes, Backend: b, SizeMB: size, TrainIters: trainIters,
 			})
-		}
-	}
-	return sweepParallel(len(cfgs), func(i int) Pattern1Point { return RunPattern1(cfgs[i]) })
+		})
 }
 
-// PrintFig3 renders Fig-3-style rows: per-process read and write
-// throughput by backend and data size.
-func PrintFig3(w io.Writer, nodes int, points []Pattern1Point) {
-	fmt.Fprintf(w, "Fig 3 — Pattern 1 read/write throughput per process, %d nodes\n", nodes)
-	fmt.Fprintf(w, "%-12s %10s %14s %14s\n", "backend", "size(MB)", "read(GB/s)", "write(GB/s)")
+// fig3Table structures Fig-3-style rows — per-process read and write
+// throughput by backend and data size — for the reporters.
+func fig3Table(nodes int, points []Pattern1Point) scenario.Table {
+	t := scenario.Table{
+		Title: fmt.Sprintf("Fig 3 — Pattern 1 read/write throughput per process, %d nodes", nodes),
+		Columns: []scenario.Column{
+			{Key: "backend", Head: "backend", HeadFmt: "%-12s", CellFmt: "%-12s"},
+			{Key: "size_mb", Head: "size(MB)", HeadFmt: "%10s", CellFmt: "%10.2f"},
+			{Key: "read_gbps", Head: "read(GB/s)", HeadFmt: "%14s", CellFmt: "%14.3f"},
+			{Key: "write_gbps", Head: "write(GB/s)", HeadFmt: "%14s", CellFmt: "%14.3f"},
+		},
+	}
 	for _, pt := range points {
 		if pt.Nodes != nodes {
 			continue
 		}
-		fmt.Fprintf(w, "%-12s %10.2f %14.3f %14.3f\n",
-			pt.Backend, pt.SizeMB, pt.ReadGBps, pt.WriteGBps)
+		t.Rows = append(t.Rows, []any{pt.Backend.String(), pt.SizeMB, pt.ReadGBps, pt.WriteGBps})
 	}
+	return t
+}
+
+// PrintFig3 renders Fig-3-style rows in the paper's text layout.
+func PrintFig3(w io.Writer, nodes int, points []Pattern1Point) {
+	_ = scenario.WriteTable(w, fig3Table(nodes, points))
 }
 
 // Fig4Backends are the two extremes compared in Fig 4.
@@ -186,29 +198,40 @@ var Fig4Backends = []datastore.Backend{datastore.NodeLocal, datastore.FileSystem
 
 // RunFig4 reuses the Pattern 1 harness for the compute-vs-transport
 // comparison of Fig 4, with the same parallel fan-out as RunFig3.
-func RunFig4(nodes, trainIters int) []Pattern1Point {
-	var cfgs []Pattern1Config
-	for _, b := range Fig4Backends {
-		for _, size := range Fig3Sizes {
-			cfgs = append(cfgs, Pattern1Config{
+func RunFig4(ctx context.Context, nodes, trainIters int) ([]Pattern1Point, error) {
+	return sweep.Grid(ctx, Fig4Backends, Fig3Sizes,
+		func(b datastore.Backend, size float64) Pattern1Point {
+			return RunPattern1(Pattern1Config{
 				Nodes: nodes, Backend: b, SizeMB: size, TrainIters: trainIters,
 			})
-		}
-	}
-	return sweepParallel(len(cfgs), func(i int) Pattern1Point { return RunPattern1(cfgs[i]) })
+		})
 }
 
-// PrintFig4 renders Fig-4-style rows: mean time per event for compute
+// fig4Table structures Fig-4-style rows: mean time per event for compute
 // (Sim iter, AI iter) versus transport (read, write).
-func PrintFig4(w io.Writer, nodes int, points []Pattern1Point) {
-	fmt.Fprintf(w, "Fig 4 — Pattern 1 compute vs transport time per event, %d nodes\n", nodes)
-	fmt.Fprintf(w, "%-12s %10s %12s %12s %12s %12s\n",
-		"backend", "size(MB)", "sim-iter(s)", "ai-iter(s)", "write(s)", "read(s)")
+func fig4Table(nodes int, points []Pattern1Point) scenario.Table {
+	t := scenario.Table{
+		Title: fmt.Sprintf("Fig 4 — Pattern 1 compute vs transport time per event, %d nodes", nodes),
+		Columns: []scenario.Column{
+			{Key: "backend", Head: "backend", HeadFmt: "%-12s", CellFmt: "%-12s"},
+			{Key: "size_mb", Head: "size(MB)", HeadFmt: "%10s", CellFmt: "%10.2f"},
+			{Key: "sim_iter_s", Head: "sim-iter(s)", HeadFmt: "%12s", CellFmt: "%12.4f"},
+			{Key: "ai_iter_s", Head: "ai-iter(s)", HeadFmt: "%12s", CellFmt: "%12.4f"},
+			{Key: "write_mean_s", Head: "write(s)", HeadFmt: "%12s", CellFmt: "%12.4f"},
+			{Key: "read_mean_s", Head: "read(s)", HeadFmt: "%12s", CellFmt: "%12.4f"},
+		},
+	}
 	for _, pt := range points {
 		if pt.Nodes != nodes {
 			continue
 		}
-		fmt.Fprintf(w, "%-12s %10.2f %12.4f %12.4f %12.4f %12.4f\n",
-			pt.Backend, pt.SizeMB, pt.SimIterS, pt.TrainIter, pt.WriteMean, pt.ReadMeanS)
+		t.Rows = append(t.Rows, []any{pt.Backend.String(), pt.SizeMB,
+			pt.SimIterS, pt.TrainIter, pt.WriteMean, pt.ReadMeanS})
 	}
+	return t
+}
+
+// PrintFig4 renders Fig-4-style rows in the paper's text layout.
+func PrintFig4(w io.Writer, nodes int, points []Pattern1Point) {
+	_ = scenario.WriteTable(w, fig4Table(nodes, points))
 }

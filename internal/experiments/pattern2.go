@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -8,7 +9,9 @@ import (
 	"simaibench/internal/costmodel"
 	"simaibench/internal/datastore"
 	"simaibench/internal/des"
+	"simaibench/internal/scenario"
 	"simaibench/internal/stats"
+	"simaibench/internal/sweep"
 )
 
 // Pattern2Backends are the backends that support non-local access
@@ -67,23 +70,33 @@ func RunFig5(cfg Fig5Config) Fig5Point {
 var Fig5Sizes = []float64{0.4, 1, 4, 10, 32, 128}
 
 // RunFig5Sweep runs the full Fig 5 grid, one worker per point.
-func RunFig5Sweep(transfers int) []Fig5Point {
-	var cfgs []Fig5Config
-	for _, b := range Pattern2Backends {
-		for _, size := range Fig5Sizes {
-			cfgs = append(cfgs, Fig5Config{Backend: b, SizeMB: size, Transfers: transfers})
-		}
-	}
-	return sweepParallel(len(cfgs), func(i int) Fig5Point { return RunFig5(cfgs[i]) })
+func RunFig5Sweep(ctx context.Context, transfers int) ([]Fig5Point, error) {
+	return sweep.Grid(ctx, Pattern2Backends, Fig5Sizes,
+		func(b datastore.Backend, size float64) Fig5Point {
+			return RunFig5(Fig5Config{Backend: b, SizeMB: size, Transfers: transfers})
+		})
 }
 
-// PrintFig5 renders Fig-5-style rows.
-func PrintFig5(w io.Writer, points []Fig5Point) {
-	fmt.Fprintln(w, "Fig 5 — Pattern 2, 2 nodes: non-local read / local write throughput per process")
-	fmt.Fprintf(w, "%-12s %10s %14s %14s\n", "backend", "size(MB)", "read(GB/s)", "write(GB/s)")
-	for _, pt := range points {
-		fmt.Fprintf(w, "%-12s %10.2f %14.3f %14.3f\n", pt.Backend, pt.SizeMB, pt.ReadGBps, pt.WriteGBps)
+// fig5Table structures Fig-5-style rows for the reporters.
+func fig5Table(points []Fig5Point) scenario.Table {
+	t := scenario.Table{
+		Title: "Fig 5 — Pattern 2, 2 nodes: non-local read / local write throughput per process",
+		Columns: []scenario.Column{
+			{Key: "backend", Head: "backend", HeadFmt: "%-12s", CellFmt: "%-12s"},
+			{Key: "size_mb", Head: "size(MB)", HeadFmt: "%10s", CellFmt: "%10.2f"},
+			{Key: "read_gbps", Head: "read(GB/s)", HeadFmt: "%14s", CellFmt: "%14.3f"},
+			{Key: "write_gbps", Head: "write(GB/s)", HeadFmt: "%14s", CellFmt: "%14.3f"},
+		},
 	}
+	for _, pt := range points {
+		t.Rows = append(t.Rows, []any{pt.Backend.String(), pt.SizeMB, pt.ReadGBps, pt.WriteGBps})
+	}
+	return t
+}
+
+// PrintFig5 renders Fig-5-style rows in the paper's text layout.
+func PrintFig5(w io.Writer, points []Fig5Point) {
+	_ = scenario.WriteTable(w, fig5Table(points))
 }
 
 // Fig6Config drives the many-to-one scaling experiment: one simulation
@@ -201,27 +214,36 @@ var Fig6NodeCounts = []int{8, 128}
 
 // RunFig6Sweep runs the full grid at one node count, one worker per
 // point.
-func RunFig6Sweep(nodes, trainIters int) []Fig6Point {
-	var cfgs []Fig6Config
-	for _, b := range Pattern2Backends {
-		for _, size := range Fig6Sizes {
-			cfgs = append(cfgs, Fig6Config{
+func RunFig6Sweep(ctx context.Context, nodes, trainIters int) ([]Fig6Point, error) {
+	return sweep.Grid(ctx, Pattern2Backends, Fig6Sizes,
+		func(b datastore.Backend, size float64) Fig6Point {
+			return RunFig6(Fig6Config{
 				Nodes: nodes, Backend: b, SizeMB: size, TrainIters: trainIters,
 			})
-		}
-	}
-	return sweepParallel(len(cfgs), func(i int) Fig6Point { return RunFig6(cfgs[i]) })
+		})
 }
 
-// PrintFig6 renders Fig-6-style rows.
-func PrintFig6(w io.Writer, nodes int, points []Fig6Point) {
-	fmt.Fprintf(w, "Fig 6 — Pattern 2 training runtime per iteration, %d simulation nodes\n", nodes)
-	fmt.Fprintf(w, "%-12s %10s %18s %16s\n", "backend", "size(MB)", "exec/iter(s)", "fetch-mean(s)")
+// fig6Table structures Fig-6-style rows for the reporters.
+func fig6Table(nodes int, points []Fig6Point) scenario.Table {
+	t := scenario.Table{
+		Title: fmt.Sprintf("Fig 6 — Pattern 2 training runtime per iteration, %d simulation nodes", nodes),
+		Columns: []scenario.Column{
+			{Key: "backend", Head: "backend", HeadFmt: "%-12s", CellFmt: "%-12s"},
+			{Key: "size_mb", Head: "size(MB)", HeadFmt: "%10s", CellFmt: "%10.2f"},
+			{Key: "exec_per_iter_s", Head: "exec/iter(s)", HeadFmt: "%18s", CellFmt: "%18.4f"},
+			{Key: "fetch_mean_s", Head: "fetch-mean(s)", HeadFmt: "%16s", CellFmt: "%16.4f"},
+		},
+	}
 	for _, pt := range points {
 		if pt.Nodes != nodes {
 			continue
 		}
-		fmt.Fprintf(w, "%-12s %10.2f %18.4f %16.4f\n",
-			pt.Backend, pt.SizeMB, pt.ExecPerIterS, pt.FetchMeanS)
+		t.Rows = append(t.Rows, []any{pt.Backend.String(), pt.SizeMB, pt.ExecPerIterS, pt.FetchMeanS})
 	}
+	return t
+}
+
+// PrintFig6 renders Fig-6-style rows in the paper's text layout.
+func PrintFig6(w io.Writer, nodes int, points []Fig6Point) {
+	_ = scenario.WriteTable(w, fig6Table(nodes, points))
 }

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+
+	"simaibench/internal/scenario"
+)
+
+// TestValidationCacheScopedToContext: validation measurements are
+// shared only within one WithValidationCache context — the CLI's "run
+// validation once for table2+table3+fig2" behavior — and re-measured
+// for independent contexts, so library callers collecting run-to-run
+// variance never see silently recycled results.
+func TestValidationCacheScopedToContext(t *testing.T) {
+	p := scenario.Params{TrainIters: 40, TimeScale: 0.01}
+
+	ctx := WithValidationCache(bg)
+	o1, m1, err := validationPair(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, m2, err := validationPair(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 != o2 || m1 != m2 {
+		t.Fatal("same cache context should reuse the measured results")
+	}
+
+	o3, _, err := validationPair(WithValidationCache(bg), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o3 == o1 {
+		t.Fatal("fresh cache context should re-measure, not reuse")
+	}
+
+	// No cache on the context at all: every call measures.
+	o4, _, err := validationPair(bg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o4 == o1 {
+		t.Fatal("cache-less context should never reuse results")
+	}
+}

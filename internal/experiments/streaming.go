@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"simaibench/internal/datastore"
+	"simaibench/internal/scenario"
 	"simaibench/internal/stats"
 	"simaibench/internal/stream"
 )
@@ -61,8 +63,8 @@ func (c StreamingConfig) withDefaults() StreamingConfig {
 
 // RunStagedPolling measures the staging path: producer writes snapshots
 // under fresh keys, consumer polls at the configured interval and reads
-// when present.
-func RunStagedPolling(cfg StreamingConfig) (StreamingPoint, error) {
+// when present. Cancelling ctx interrupts the poll loop.
+func RunStagedPolling(ctx context.Context, cfg StreamingConfig) (StreamingPoint, error) {
 	cfg = cfg.withDefaults()
 	mgr, info, err := datastore.StartBackend(cfg.Backend, "")
 	if err != nil {
@@ -86,6 +88,9 @@ func RunStagedPolling(cfg StreamingConfig) (StreamingPoint, error) {
 		}
 		// Consumer side: poll until present, then read.
 		for {
+			if err := ctx.Err(); err != nil {
+				return StreamingPoint{}, err
+			}
 			ok, err := store.Poll(key)
 			if err != nil {
 				return StreamingPoint{}, err
@@ -162,16 +167,19 @@ func RunStreamDelivery(cfg StreamingConfig, method StreamingMethod, w stream.Wri
 }
 
 // RunStreamingComparison runs all three methods at one size.
-func RunStreamingComparison(cfg StreamingConfig) ([]StreamingPoint, error) {
+func RunStreamingComparison(ctx context.Context, cfg StreamingConfig) ([]StreamingPoint, error) {
 	cfg = cfg.withDefaults()
 	var points []StreamingPoint
 
-	staged, err := RunStagedPolling(cfg)
+	staged, err := RunStagedPolling(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 	points = append(points, staged)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	pw, pr := stream.Pipe(4)
 	inproc, err := RunStreamDelivery(cfg, MethodStreamInProc, pw, pr)
 	if err != nil {
@@ -180,6 +188,9 @@ func RunStreamingComparison(cfg StreamingConfig) ([]StreamingPoint, error) {
 	pr.Close()
 	points = append(points, inproc)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tw, err := stream.ListenTCP("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -198,12 +209,24 @@ func RunStreamingComparison(cfg StreamingConfig) ([]StreamingPoint, error) {
 	return points, nil
 }
 
+// streamingTable structures the comparison for the reporters.
+func streamingTable(points []StreamingPoint) scenario.Table {
+	t := scenario.Table{
+		Title: "Extension — staged polling vs point-to-point streaming (real data movement)",
+		Columns: []scenario.Column{
+			{Key: "method", Head: "method", HeadFmt: "%-14s", CellFmt: "%-14s"},
+			{Key: "size_mb", Head: "size(MB)", HeadFmt: "%10s", CellFmt: "%10.2f"},
+			{Key: "latency_mean_ms", Head: "latency-mean(ms)", HeadFmt: "%16s", CellFmt: "%16.3f"},
+			{Key: "gbps", Head: "GB/s", HeadFmt: "%12s", CellFmt: "%12.3f"},
+		},
+	}
+	for _, pt := range points {
+		t.Rows = append(t.Rows, []any{string(pt.Method), pt.SizeMB, pt.LatencyMeanS * 1000, pt.GBps})
+	}
+	return t
+}
+
 // PrintStreaming renders the comparison.
 func PrintStreaming(w io.Writer, points []StreamingPoint) {
-	fmt.Fprintln(w, "Extension — staged polling vs point-to-point streaming (real data movement)")
-	fmt.Fprintf(w, "%-14s %10s %16s %12s\n", "method", "size(MB)", "latency-mean(ms)", "GB/s")
-	for _, pt := range points {
-		fmt.Fprintf(w, "%-14s %10.2f %16.3f %12.3f\n",
-			pt.Method, pt.SizeMB, pt.LatencyMeanS*1000, pt.GBps)
-	}
+	_ = scenario.WriteTable(w, streamingTable(points))
 }

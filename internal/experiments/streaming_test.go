@@ -11,7 +11,7 @@ func TestStreamingComparisonRuns(t *testing.T) {
 	// A deliberately wide poll interval: the property under test is that
 	// push streaming removes the polling floor from delivery latency, so
 	// the floor must sit clearly above scheduler/TCP jitter (~ms here).
-	points, err := RunStreamingComparison(StreamingConfig{
+	points, err := RunStreamingComparison(bg, StreamingConfig{
 		SizeMB: 0.5, Snapshots: 8, PollInterval: 15 * time.Millisecond,
 	})
 	if err != nil {
@@ -39,13 +39,13 @@ func TestStreamingComparisonRuns(t *testing.T) {
 }
 
 func TestStagedPollingLatencyIncludesPollInterval(t *testing.T) {
-	fast, err := RunStagedPolling(StreamingConfig{
+	fast, err := RunStagedPolling(bg, StreamingConfig{
 		SizeMB: 0.1, Snapshots: 5, PollInterval: time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := RunStagedPolling(StreamingConfig{
+	slow, err := RunStagedPolling(bg, StreamingConfig{
 		SizeMB: 0.1, Snapshots: 5, PollInterval: 20 * time.Millisecond,
 	})
 	if err != nil {
@@ -58,7 +58,7 @@ func TestStagedPollingLatencyIncludesPollInterval(t *testing.T) {
 }
 
 func TestPrintStreaming(t *testing.T) {
-	points, err := RunStreamingComparison(StreamingConfig{SizeMB: 0.2, Snapshots: 4})
+	points, err := RunStreamingComparison(bg, StreamingConfig{SizeMB: 0.2, Snapshots: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,6 @@
+package experiments
+
+import "context"
+
+// bg is the context for test runs that never cancel.
+var bg = context.Background()

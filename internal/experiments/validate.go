@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strings"
 	"time"
 
 	"simaibench/internal/ai"
 	"simaibench/internal/config"
 	"simaibench/internal/datastore"
+	"simaibench/internal/scenario"
 	"simaibench/internal/simulation"
 	"simaibench/internal/trace"
 	"simaibench/internal/workflow"
@@ -160,8 +162,9 @@ func dataKeys(step int) (string, string) {
 // RunValidation executes the one-to-one workflow in real mode: two
 // concurrent components exchanging real bytes through a real backend,
 // with the trainer steering the simulation to stop after its final
-// iteration — the structure of §4.1.1.
-func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
+// iteration — the structure of §4.1.1. Cancelling ctx aborts both
+// components at their next iteration boundary.
+func RunValidation(ctx context.Context, cfg ValidationConfig) (*ValidationResult, error) {
 	cfg = cfg.withDefaults()
 	mgr, info, err := datastore.StartBackend(cfg.Backend, "")
 	if err != nil {
@@ -314,44 +317,88 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 		return nil, err
 	}
 
-	if err := w.Launch(context.Background()); err != nil {
+	if err := w.Launch(ctx); err != nil {
 		return nil, err
 	}
 	res.MakespanS = elapsed()
 	return res, nil
 }
 
+// table2Table structures the event-count comparison (Table 2).
+func table2Table(original, miniApp *ValidationResult) scenario.Table {
+	t := scenario.Table{
+		Title: "Table 2 — time steps and data-transport events",
+		Columns: []scenario.Column{
+			{Key: "mode", Head: "", HeadFmt: "%-10s", CellFmt: "%-10s"},
+			{Key: "sim_steps", Head: "sim steps", HeadFmt: "%12s", CellFmt: "%12d"},
+			{Key: "sim_transport", Head: "sim transport", HeadFmt: "%14s", CellFmt: "%14d"},
+			{Key: "train_steps", Head: "train steps", HeadFmt: "%12s", CellFmt: "%12d"},
+			{Key: "train_transport", Head: "train transport", HeadFmt: "%14s", CellFmt: "%14d"},
+		},
+	}
+	for _, r := range []*ValidationResult{original, miniApp} {
+		t.Rows = append(t.Rows, []any{r.Mode.String(), r.Sim.Timesteps, r.Sim.TransportEvents,
+			r.Train.Timesteps, r.Train.TransportEvents})
+	}
+	return t
+}
+
 // PrintTable2 renders the event-count comparison (Table 2).
 func PrintTable2(w io.Writer, original, miniApp *ValidationResult) {
-	fmt.Fprintln(w, "Table 2 — time steps and data-transport events")
-	fmt.Fprintf(w, "%-10s %12s %14s %12s %14s\n",
-		"", "sim steps", "sim transport", "train steps", "train transport")
-	for _, r := range []*ValidationResult{original, miniApp} {
-		fmt.Fprintf(w, "%-10s %12d %14d %12d %14d\n",
-			r.Mode, r.Sim.Timesteps, r.Sim.TransportEvents,
-			r.Train.Timesteps, r.Train.TransportEvents)
+	_ = scenario.WriteTable(w, table2Table(original, miniApp))
+}
+
+// table3Table structures the iteration-time comparison (Table 3).
+func table3Table(original, miniApp *ValidationResult) scenario.Table {
+	t := scenario.Table{
+		Title: "Table 3 — iteration time mean / std (s)",
+		Columns: []scenario.Column{
+			{Key: "mode", Head: "", HeadFmt: "%-10s", CellFmt: "%-10s"},
+			{Key: "sim_iter_mean_s", Head: "sim mean", HeadFmt: "%12s", CellFmt: "%12.4f"},
+			{Key: "sim_iter_std_s", Head: "sim std", HeadFmt: "%12s", CellFmt: "%12.4f"},
+			{Key: "train_iter_mean_s", Head: "train mean", HeadFmt: "%12s", CellFmt: "%12.4f"},
+			{Key: "train_iter_std_s", Head: "train std", HeadFmt: "%12s", CellFmt: "%12.4f"},
+		},
 	}
+	for _, r := range []*ValidationResult{original, miniApp} {
+		t.Rows = append(t.Rows, []any{r.Mode.String(), r.Sim.IterMean, r.Sim.IterStd,
+			r.Train.IterMean, r.Train.IterStd})
+	}
+	return t
 }
 
 // PrintTable3 renders the iteration-time comparison (Table 3).
 func PrintTable3(w io.Writer, original, miniApp *ValidationResult) {
-	fmt.Fprintln(w, "Table 3 — iteration time mean / std (s)")
-	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s\n",
-		"", "sim mean", "sim std", "train mean", "train std")
-	for _, r := range []*ValidationResult{original, miniApp} {
-		fmt.Fprintf(w, "%-10s %12.4f %12.4f %12.4f %12.4f\n",
-			r.Mode, r.Sim.IterMean, r.Sim.IterStd,
-			r.Train.IterMean, r.Train.IterStd)
-	}
+	_ = scenario.WriteTable(w, table3Table(original, miniApp))
 }
 
-// PrintFig2 renders the two execution timelines as ASCII (Fig 2): a
-// window of the run showing compute spans, transfer marks and init areas.
-func PrintFig2(w io.Writer, original, miniApp *ValidationResult, windowS float64) error {
+// fig2Tables renders the two execution timelines as freeform ASCII
+// tables (Fig 2): a window of the run showing compute spans, transfer
+// marks and init areas.
+func fig2Tables(original, miniApp *ValidationResult, windowS float64) ([]scenario.Table, error) {
+	var tables []scenario.Table
 	for _, r := range []*ValidationResult{original, miniApp} {
-		fmt.Fprintf(w, "Fig 2 (%s) — timeline, first %.0f emulated seconds "+
-			"(█ compute, | transfer, ░ init)\n", r.Mode, windowS)
-		if err := r.Timeline.Render(w, 0, windowS, 100); err != nil {
+		var body strings.Builder
+		if err := r.Timeline.Render(&body, 0, windowS, 100); err != nil {
+			return nil, err
+		}
+		tables = append(tables, scenario.Table{
+			Title: fmt.Sprintf("Fig 2 (%s) — timeline, first %.0f emulated seconds "+
+				"(█ compute, | transfer, ░ init)", r.Mode, windowS),
+			Text: body.String(),
+		})
+	}
+	return tables, nil
+}
+
+// PrintFig2 renders the two execution timelines as ASCII (Fig 2).
+func PrintFig2(w io.Writer, original, miniApp *ValidationResult, windowS float64) error {
+	tables, err := fig2Tables(original, miniApp, windowS)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := scenario.WriteTable(w, t); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

@@ -1,0 +1,136 @@
+// Package scenario is the registry-driven experiment framework: every
+// workload this repo can run — the paper's tables and figures, the
+// streaming extension, the ablations, and any future scenario — is a
+// Scenario registered under a stable id, returning structured Results
+// that pluggable reporters render as paper-identical text tables, JSON,
+// or CSV.
+//
+// Adding a workload is one Register call:
+//
+//	scenario.Register(scenario.New("myscenario", "what it shows",
+//		scenario.Params{SweepIters: 600},
+//		func(ctx context.Context, p scenario.Params) (*scenario.Result, error) {
+//			pts, err := sweep.Grid(ctx, backends, sizes, runOnePoint)
+//			...
+//			return &scenario.Result{Scenario: "myscenario", Tables: ...}, nil
+//		}))
+//
+// The cmd/experiments CLI and the pkg/simaibench library API both
+// enumerate the same registry.
+package scenario
+
+import "context"
+
+// Params are the shared runtime knobs every scenario understands. The
+// zero value means "use this scenario's defaults"; a Scenario's
+// Defaults() carries the paper's values.
+type Params struct {
+	// TrainIters: real-mode validation training iterations (paper: 5000).
+	TrainIters int `json:"train_iters,omitempty"`
+	// SweepIters: simulated training iterations per sweep point (600
+	// preserves the steady-state statistics of the paper's >=2500).
+	SweepIters int `json:"sweep_iters,omitempty"`
+	// TimeScale: wall-clock compression for real-mode runs (paper runs in
+	// real time; 0.01 compresses a 300-virtual-second run to ~3 s).
+	TimeScale float64 `json:"time_scale,omitempty"`
+	// Transfers: write/read pairs per Fig-5 point (50).
+	Transfers int `json:"transfers,omitempty"`
+	// TimelineWindowS: emulated seconds of timeline rendered by Fig 2 (25).
+	TimelineWindowS float64 `json:"timeline_window_s,omitempty"`
+}
+
+// merge fills zero fields of p from d.
+func (p Params) merge(d Params) Params {
+	if p.TrainIters == 0 {
+		p.TrainIters = d.TrainIters
+	}
+	if p.SweepIters == 0 {
+		p.SweepIters = d.SweepIters
+	}
+	if p.TimeScale == 0 {
+		p.TimeScale = d.TimeScale
+	}
+	if p.Transfers == 0 {
+		p.Transfers = d.Transfers
+	}
+	if p.TimelineWindowS == 0 {
+		p.TimelineWindowS = d.TimelineWindowS
+	}
+	return p
+}
+
+// Scenario is one registered experiment: a named, self-describing
+// workload with paper-default parameters and a context-cancellable run.
+type Scenario interface {
+	// Name is the stable id used by -exp and the library API.
+	Name() string
+	// Description is the one-line summary shown by -list.
+	Description() string
+	// Defaults are the paper's parameter values for this scenario.
+	Defaults() Params
+	// Run executes the scenario; zero fields of p fall back to Defaults.
+	Run(ctx context.Context, p Params) (*Result, error)
+}
+
+// RunFunc is the body of a func-backed Scenario. It receives params with
+// defaults already applied.
+type RunFunc func(ctx context.Context, p Params) (*Result, error)
+
+// funcScenario adapts a RunFunc to the Scenario interface.
+type funcScenario struct {
+	name, desc string
+	defaults   Params
+	run        RunFunc
+}
+
+// New builds a Scenario from a name, description, paper-default params
+// and a run function.
+func New(name, desc string, defaults Params, run RunFunc) Scenario {
+	return &funcScenario{name: name, desc: desc, defaults: defaults, run: run}
+}
+
+func (s *funcScenario) Name() string        { return s.name }
+func (s *funcScenario) Description() string { return s.desc }
+func (s *funcScenario) Defaults() Params    { return s.defaults }
+
+func (s *funcScenario) Run(ctx context.Context, p Params) (*Result, error) {
+	return s.run(ctx, p.merge(s.defaults))
+}
+
+// Result is the structured outcome of one scenario run: one or more
+// tables of named-column records. The same Result feeds the text, JSON
+// and CSV reporters, so machine-readable artifacts come from the exact
+// path that produces the paper tables.
+type Result struct {
+	Scenario string  `json:"scenario"`
+	Params   Params  `json:"params"`
+	Tables   []Table `json:"tables"`
+}
+
+// Table is one rendered artifact: either a column-formatted table
+// (Columns + Rows) or a freeform text block (Text, e.g. the Fig 2 ASCII
+// timelines).
+type Table struct {
+	// Title is printed verbatim above the table.
+	Title string
+	// Columns describe the cells of each row; nil for freeform tables.
+	Columns []Column
+	// Rows hold one value per column, in column order.
+	Rows [][]any
+	// Text is the freeform body when Columns is nil; must end with "\n".
+	Text string
+}
+
+// Column is one table column: a machine-readable key for JSON/CSV plus
+// the header label and fmt verbs that pin the text rendering to the
+// paper tables' exact layout.
+type Column struct {
+	// Key names the value in JSON and CSV records (snake_case).
+	Key string
+	// Head is the text-mode header label, e.g. "write(GB/s)".
+	Head string
+	// HeadFmt formats Head in the header line, e.g. "%10s".
+	HeadFmt string
+	// CellFmt formats the cell value in a row, e.g. "%10.2f".
+	CellFmt string
+}

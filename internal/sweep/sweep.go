@@ -1,0 +1,72 @@
+// Package sweep is the parallel parameter-sweep runner shared by every
+// experiment harness: a bounded worker pool that fans independent cells
+// across cores and a declarative cartesian Grid on top of it.
+//
+// Each cell builds its own isolated des.Env and cost model, runs
+// single-threaded and bit-deterministic, and writes only its own result
+// slot — so results are identical at any worker count and the slice
+// order never depends on scheduling.
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers caps the worker pool used to fan independent sweep cells
+// across cores; 0 (the default) uses GOMAXPROCS, 1 forces serial
+// execution.
+var Workers int
+
+// Map evaluates f(0..n-1) on a bounded worker pool and returns the
+// results in index order. Cancelling ctx stops new cells from starting;
+// Map then returns the partial results alongside ctx.Err() (cells never
+// started hold zero values).
+func Map[T any](ctx context.Context, n int, f func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	workers := Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range out {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			out[i] = f(i)
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, ctx.Err()
+}
+
+// Grid runs f over the row-major cartesian product of xs × ys — the
+// (backend, size) and (ablated constant, scale) loops every experiment
+// used to hand-roll — fanning the cells across the worker pool. Results
+// keep enumeration order: all ys for xs[0], then all ys for xs[1], …
+func Grid[X, Y, T any](ctx context.Context, xs []X, ys []Y, f func(X, Y) T) ([]T, error) {
+	return Map(ctx, len(xs)*len(ys), func(i int) T {
+		return f(xs[i/len(ys)], ys[i%len(ys)])
+	})
+}

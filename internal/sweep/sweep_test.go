@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	prev := Workers
+	defer func() { Workers = prev }()
+	for _, workers := range []int{1, 2, 8, 100} {
+		Workers = workers
+		got, err := Map(context.Background(), 25, func(i int) int { return i * i })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestGridRowMajorOrder(t *testing.T) {
+	type cell struct {
+		x string
+		y int
+	}
+	got, err := Grid(context.Background(), []string{"a", "b"}, []int{1, 2, 3},
+		func(x string, y int) cell { return cell{x, y} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []cell{{"a", 1}, {"a", 2}, {"a", 3}, {"b", 1}, {"b", 2}, {"b", 3}}
+	if len(got) != len(want) {
+		t.Fatalf("%d cells, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMapCancelled(t *testing.T) {
+	prev := Workers
+	defer func() { Workers = prev }()
+	for _, workers := range []int{1, 4} {
+		Workers = workers
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		_, err := Map(ctx, 1000, func(i int) int {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return i
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Fatalf("workers=%d: cancellation did not stop the sweep (%d cells ran)", workers, n)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 0, func(i int) int { return i })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}

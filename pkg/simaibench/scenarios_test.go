@@ -1,0 +1,79 @@
+package simaibench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestScenarioRegistryExposed: the library surface must enumerate the
+// same registry the CLI runs, with every seed scenario present.
+func TestScenarioRegistryExposed(t *testing.T) {
+	names := ScenarioNames()
+	byName := map[string]bool{}
+	for _, n := range names {
+		byName[n] = true
+	}
+	for _, want := range []string{"table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "streaming", "ablation"} {
+		if !byName[want] {
+			t.Errorf("scenario %q not exposed (have %v)", want, names)
+		}
+	}
+	if len(Scenarios()) != len(names) {
+		t.Fatalf("Scenarios()/ScenarioNames() disagree: %d vs %d", len(Scenarios()), len(names))
+	}
+	if _, ok := LookupScenario("fig3"); !ok {
+		t.Fatal("LookupScenario(fig3) failed")
+	}
+}
+
+// TestRunScenarioProgrammatic runs a small fig5 sweep through the
+// public API and renders it as JSON — the machine-readable path.
+func TestRunScenarioProgrammatic(t *testing.T) {
+	res, err := RunScenario(context.Background(), "fig5", ScenarioParams{Transfers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != "fig5" || len(res.Tables) != 1 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := ReportResults(&buf, "json", res); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Results []struct {
+			Scenario string `json:"scenario"`
+			Tables   []struct {
+				Rows []map[string]any `json:"rows"`
+			} `json:"tables"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON output invalid: %v", err)
+	}
+	rows := doc.Results[0].Tables[0].Rows
+	if len(rows) == 0 {
+		t.Fatal("no per-point records in JSON output")
+	}
+	if _, ok := rows[0]["read_gbps"].(float64); !ok {
+		t.Fatalf("record missing read_gbps: %v", rows[0])
+	}
+}
+
+func TestRunScenarioErrors(t *testing.T) {
+	if _, err := RunScenario(context.Background(), "no-such", ScenarioParams{}); err == nil ||
+		!strings.Contains(err.Error(), "fig3") {
+		t.Fatalf("unknown scenario error should list valid ids, got %v", err)
+	}
+	if _, err := RunScenario(context.Background(), "all", ScenarioParams{}); err == nil ||
+		!strings.Contains(err.Error(), "group") {
+		t.Fatalf("running a group as a scenario should error, got %v", err)
+	}
+	ss, err := ResolveScenarios("all")
+	if err != nil || len(ss) == 0 {
+		t.Fatalf("ResolveScenarios(all) = %v, %v", ss, err)
+	}
+}
