@@ -191,6 +191,26 @@ func BenchmarkFig6ManyToOne(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleOut tracks the multi-tenant subsystem: one shared-Redis
+// scale-out point per tenant count, reporting the contention observables
+// (mean staging latency and aggregate delivered throughput) so the perf
+// trajectory of the co-scheduler + shared-queue path is recorded next to
+// the single-tenant figures.
+func BenchmarkScaleOut(b *testing.B) {
+	for _, tenants := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			var pt experiments.ScaleOutPoint
+			for i := 0; i < b.N; i++ {
+				pt = experiments.RunScaleOut(experiments.ScaleOutConfig{
+					Tenants: tenants, Backend: datastore.Redis, SizeMB: 8, TrainIters: 200,
+				})
+			}
+			b.ReportMetric(pt.StageMeanS*1000, "redis-8MB-stage-ms")
+			b.ReportMetric(pt.AggGBps, "redis-8MB-agg-GBps")
+		})
+	}
+}
+
 // BenchmarkAblationIncast regenerates the incast-latency ablation (a
 // mechanism check on the Fig 6b small-message gap).
 func BenchmarkAblationIncast(b *testing.B) {

@@ -19,12 +19,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 
 	"simaibench/internal/experiments" // registers the paper's scenarios
 	"simaibench/internal/scenario"
@@ -33,24 +35,43 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id or group (see -list)")
-	list := flag.Bool("list", false, "list registered scenarios and groups, then exit")
-	format := flag.String("format", "text", "output format: text|json|csv")
+	list := flag.Bool("list", false, "list registered scenarios and groups, then exit (-format md emits the EXPERIMENTS.md table)")
+	format := flag.String("format", "text", "output format: text|json|csv (with -list: text|md)")
 	out := flag.String("o", "", "write output to FILE (default stdout)")
 	trainIters := flag.Int("train-iters", 2500, "validation training iterations (paper: 5000)")
 	sweepIters := flag.Int("sweep-iters", 600, "simulated training iterations per sweep point")
 	timeScale := flag.Float64("time-scale", 0.01, "wall-clock compression for real-mode validation")
+	tenants := flag.Int("tenants", 0, "max co-scheduled workflows for the scale-out family (0 = scenario default, 16)")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial); results are identical at any setting")
 	flag.Parse()
 
 	sweep.Workers = *parallel
 	if *list {
-		printList(os.Stdout)
+		// -o applies to -list too, so `-list -format md -o FILE` can
+		// regenerate the EXPERIMENTS.md table block directly. The list
+		// is rendered in memory first so a write failure (ENOSPC,
+		// closed pipe) cannot leave a truncated file with exit 0.
+		var buf bytes.Buffer
+		switch *format {
+		case "md":
+			buf.WriteString(scenarioTableMD())
+		case "text":
+			printList(&buf)
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown -list format %q (valid: text, md)\n", *format)
+			os.Exit(1)
+		}
+		if err := writeOut(*out, buf.Bytes()); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	params := scenario.Params{
 		TrainIters: *trainIters,
 		SweepIters: *sweepIters,
 		TimeScale:  *timeScale,
+		Tenants:    *tenants,
 	}
 	if err := run(*exp, *format, *out, params); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -77,6 +98,38 @@ func printList(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
+}
+
+// scenarioTableMD renders the registry as the markdown table embedded in
+// EXPERIMENTS.md (between the scenario-table markers). The doc table is
+// generated from the registry — and a test pins the EXPERIMENTS.md copy
+// to this output — so the CLI's -list and the documentation cannot
+// diverge.
+func scenarioTableMD() string {
+	var b strings.Builder
+	b.WriteString("| id | description |\n|---|---|\n")
+	for _, s := range scenario.All() {
+		fmt.Fprintf(&b, "| `%s` | %s |\n", s.Name(), s.Description())
+	}
+	for _, g := range scenario.Groups() {
+		members, _ := scenario.Resolve(g)
+		names := make([]string, len(members))
+		for i, m := range members {
+			names[i] = m.Name()
+		}
+		fmt.Fprintf(&b, "| `%s` (group) | %s |\n", g, strings.Join(names, " "))
+	}
+	return b.String()
+}
+
+// writeOut writes data to path, or stdout when path is empty, reporting
+// any write error.
+func writeOut(path string, data []byte) error {
+	if path == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func run(exp, format, outPath string, params scenario.Params) error {

@@ -3,6 +3,11 @@
 // inventory, memory hierarchy and interconnect headline numbers. The
 // numbers come straight from the paper's §4 hardware description and are
 // consumed by internal/costmodel to size resources and cache thresholds.
+//
+// Beyond the paper's single-workflow placements (Pattern1Placement,
+// Pattern2Placement), the package provides the multi-tenant co-scheduler
+// (CoSchedule): N concurrent workflow instances placed round-robin onto
+// a shared partition, the substrate of the scale-out scenario family.
 package cluster
 
 import "fmt"
@@ -99,3 +104,58 @@ func Pattern2Placement(s Spec) Placement {
 
 // ProcsPerNode returns total ranks per node under a placement.
 func (p Placement) ProcsPerNode() int { return p.SimTilesPerNode + p.AITilesPerNode }
+
+// Tenant is one co-scheduled workflow instance in a multi-tenant
+// partition: a stable id plus the node indices its components run on.
+type Tenant struct {
+	// ID numbers tenants 0..n-1 in scheduling order.
+	ID int
+	// Nodes are the spec node indices this tenant's ranks are placed on.
+	Nodes []int
+}
+
+// CoSchedule places n concurrent workflow instances, each requesting
+// nodesPer nodes, onto the partition's nodes in round-robin order. When
+// the partition has at least n×nodesPer nodes every tenant receives a
+// dedicated block (the scale-out case: compute is dedicated, only the
+// datastore deployment is shared); with fewer nodes the assignment wraps
+// and tenants share nodes (oversubscription), which also contends on the
+// per-node exchange buses of the cost model.
+func CoSchedule(s Spec, n, nodesPer int) ([]Tenant, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 || nodesPer < 1 {
+		return nil, fmt.Errorf("cluster: co-schedule %d tenants × %d nodes", n, nodesPer)
+	}
+	tenants := make([]Tenant, n)
+	next := 0
+	for i := range tenants {
+		nodes := make([]int, nodesPer)
+		for j := range nodes {
+			nodes[j] = next % s.Nodes
+			next++
+		}
+		tenants[i] = Tenant{ID: i, Nodes: nodes}
+	}
+	return tenants, nil
+}
+
+// Oversubscription reports the mean number of tenant placements per
+// *occupied* physical node: exactly 1.0 when every tenant has dedicated
+// nodes (regardless of how much of the partition is idle), above 1 when
+// CoSchedule wrapped and tenants share nodes.
+func Oversubscription(s Spec, tenants []Tenant) float64 {
+	placements := 0
+	occupied := map[int]bool{}
+	for _, t := range tenants {
+		placements += len(t.Nodes)
+		for _, n := range t.Nodes {
+			occupied[n] = true
+		}
+	}
+	if len(occupied) == 0 {
+		return 0
+	}
+	return float64(placements) / float64(len(occupied))
+}

@@ -64,3 +64,85 @@ func TestPattern2PlacementFullNode(t *testing.T) {
 		t.Fatalf("placement = %+v, want 12/12", p)
 	}
 }
+
+func TestCoScheduleDedicatedBlocks(t *testing.T) {
+	// Enough nodes: every tenant gets a dedicated, disjoint block.
+	s := Aurora(8)
+	tenants, err := CoSchedule(s, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 4 {
+		t.Fatalf("tenants = %d, want 4", len(tenants))
+	}
+	seen := map[int]bool{}
+	for i, tn := range tenants {
+		if tn.ID != i {
+			t.Fatalf("tenant %d has ID %d", i, tn.ID)
+		}
+		if len(tn.Nodes) != 2 {
+			t.Fatalf("tenant %d nodes = %v, want 2", i, tn.Nodes)
+		}
+		for _, n := range tn.Nodes {
+			if n < 0 || n >= s.Nodes {
+				t.Fatalf("tenant %d placed on node %d outside spec", i, n)
+			}
+			if seen[n] {
+				t.Fatalf("node %d shared despite sufficient capacity", n)
+			}
+			seen[n] = true
+		}
+	}
+	if got := Oversubscription(s, tenants); got != 1.0 {
+		t.Fatalf("oversubscription = %v, want 1.0", got)
+	}
+	// Dedicated placement on an under-filled partition is still 1.0:
+	// idle nodes don't dilute the metric.
+	few, err := CoSchedule(Aurora(8), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Oversubscription(Aurora(8), few); got != 1.0 {
+		t.Fatalf("under-filled oversubscription = %v, want 1.0", got)
+	}
+}
+
+func TestCoScheduleOversubscribed(t *testing.T) {
+	// 6 tenants × 2 nodes on a 4-node partition: placement wraps and
+	// nodes are shared, 3 tenant-nodes per physical node on average.
+	s := Aurora(4)
+	tenants, err := CoSchedule(s, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, tn := range tenants {
+		for _, n := range tn.Nodes {
+			if n < 0 || n >= s.Nodes {
+				t.Fatalf("node %d outside spec", n)
+			}
+			counts[n]++
+		}
+	}
+	for n := 0; n < s.Nodes; n++ {
+		if counts[n] != 3 {
+			t.Fatalf("node %d carries %d tenant placements, want 3 (round-robin balance)", n, counts[n])
+		}
+	}
+	if got := Oversubscription(s, tenants); math.Abs(got-3.0) > 1e-12 {
+		t.Fatalf("oversubscription = %v, want 3.0", got)
+	}
+}
+
+func TestCoScheduleRejectsBadRequests(t *testing.T) {
+	s := Aurora(4)
+	if _, err := CoSchedule(s, 0, 2); err == nil {
+		t.Error("accepted 0 tenants")
+	}
+	if _, err := CoSchedule(s, 2, 0); err == nil {
+		t.Error("accepted 0 nodes per tenant")
+	}
+	if _, err := CoSchedule(Spec{}, 1, 1); err == nil {
+		t.Error("accepted invalid spec")
+	}
+}

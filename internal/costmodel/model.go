@@ -22,11 +22,14 @@ type Model struct {
 	ostPool *des.Resource   // OST stream slots
 
 	trainerNIC map[datastore.Backend]*des.Resource
+	sharedSvc  map[datastore.Backend]*des.Resource // multi-tenant shared-deployment service queues (see shared.go)
 }
 
 // New builds a model for env/spec with the given parameters.
 func New(env *des.Env, spec cluster.Spec, p Params) *Model {
-	m := &Model{env: env, spec: spec, params: p, trainerNIC: map[datastore.Backend]*des.Resource{}}
+	m := &Model{env: env, spec: spec, params: p,
+		trainerNIC: map[datastore.Backend]*des.Resource{},
+		sharedSvc:  map[datastore.Backend]*des.Resource{}}
 	m.nodeBus = make([]*des.Resource, spec.Nodes)
 	for i := range m.nodeBus {
 		m.nodeBus[i] = des.NewResource(env, p.NodeBusConcurrency)

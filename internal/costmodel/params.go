@@ -102,6 +102,37 @@ type Params struct {
 	// FSRemoteConcurrency: parallel file reads the trainer issues
 	// against Lustre (client readahead/striping parallelism).
 	FSRemoteConcurrency int
+
+	// --- Shared multi-tenant deployment (scale-out scenarios) ---
+	//
+	// When N concurrent workflows share one backend deployment instead
+	// of each getting its own, staged operations additionally queue on
+	// the deployment's server-side service slots. These constants size
+	// that queue for the two in-memory backends; the file system needs
+	// none (its shared MDS/OST queues already are the model), and
+	// node-local tmpfs has no shared component at all. Single-tenant
+	// scenarios never touch these. Zero values fall back to the
+	// calibrated defaults at use time, so a custom Params that only
+	// tweaks single-tenant constants keeps the calibrated deployment
+	// shape.
+
+	// RedisSharedSlots is the number of shard instances of a shared
+	// Redis deployment; each services one request at a time, so this is
+	// the service-queue capacity (datastore.ServerConfig.ServiceSlots).
+	RedisSharedSlots int
+	// RedisSharedServiceS is the fixed server-side cost per staged op
+	// (RESP parse + dispatch on the shard's single thread).
+	RedisSharedServiceS float64
+	// RedisSharedBWGBps is the per-slot service bandwidth for the
+	// payload copy through the shard.
+	RedisSharedBWGBps float64
+
+	// DragonSharedSlots / DragonSharedServiceS / DragonSharedBWGBps:
+	// the same for a shared Dragon dictionary — more manager instances
+	// and cheaper per-op handling than Redis, so it saturates later.
+	DragonSharedSlots    int
+	DragonSharedServiceS float64
+	DragonSharedBWGBps   float64
 }
 
 // Default returns the calibrated parameter set used by the experiment
@@ -136,5 +167,12 @@ func Default() Params {
 		DragonWindowFactor:      0.25,
 
 		FSRemoteConcurrency: 16,
+
+		RedisSharedSlots:     4,
+		RedisSharedServiceS:  0.001,
+		RedisSharedBWGBps:    1.2,
+		DragonSharedSlots:    8,
+		DragonSharedServiceS: 0.0004,
+		DragonSharedBWGBps:   2.2,
 	}
 }

@@ -1,0 +1,45 @@
+package datastore
+
+// Multi-tenant contention metadata: which backends are shared
+// serialization points when many workflows run against one deployment,
+// and how many concurrent service slots a deployment offers. The
+// simulated contention model (internal/costmodel's shared-service
+// queues, built on internal/des Resources) keys off these answers, so
+// the queueing behaviour of the scale-out scenarios stays tied to the
+// ServerManager-level deployment shape rather than being a free-floating
+// constant.
+
+// SharedDeployment reports whether a deployment of backend b is shared
+// infrastructure that serializes all tenants' staging traffic:
+//
+//   - Redis and Dragon servers are cluster-wide processes every client
+//     connects to — concurrent workflows queue on their service threads.
+//   - FileSystem is a Lustre-style shared mount: all tenants funnel
+//     through the same metadata server and OST pool.
+//   - NodeLocal is per-node tmpfs; each node (and so, under dedicated
+//     placement, each tenant) brings its own, so nothing is shared and
+//     staging scales with tenant count.
+func SharedDeployment(b Backend) bool {
+	return b != NodeLocal
+}
+
+// ServiceSlots reports the number of concurrent server-side service
+// slots the configured deployment offers: one per Redis/Dragon server
+// instance (each mini server services requests one at a time), and one
+// per shard for the file-backed stores (independent shard directories
+// absorb concurrent renames). This is the capacity the contention model
+// gives the shared-service queue of a multi-tenant deployment.
+func (cfg ServerConfig) ServiceSlots() int {
+	slots := 1
+	switch cfg.Backend {
+	case Redis, Dragon:
+		if cfg.Instances > 0 {
+			slots = cfg.Instances
+		}
+	case NodeLocal, FileSystem:
+		if cfg.Shards > 0 {
+			slots = cfg.Shards
+		}
+	}
+	return slots
+}

@@ -286,6 +286,55 @@ func TestResourceFIFO(t *testing.T) {
 	}
 }
 
+func TestResourceWaitAccounting(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	// Three 2s holds requested at t=0: waits are 0, 2 and 4 seconds.
+	for i := 0; i < 3; i++ {
+		env.Spawn("u", func(p *Proc) { res.Use(p, 2) })
+	}
+	env.Run()
+	if res.Grants() != 3 {
+		t.Fatalf("grants = %d, want 3", res.Grants())
+	}
+	if res.TotalWaitS() != 6 {
+		t.Fatalf("total wait = %v, want 6 (0+2+4)", res.TotalWaitS())
+	}
+	if res.AvgWaitS() != 2 {
+		t.Fatalf("avg wait = %v, want 2", res.AvgWaitS())
+	}
+}
+
+func TestResourceWaitAccountingUncontended(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 2)
+	env.Spawn("a", func(p *Proc) { res.Use(p, 1) })
+	env.SpawnAt(5, "b", func(p *Proc) { res.Use(p, 1) })
+	env.Run()
+	if res.Grants() != 2 || res.TotalWaitS() != 0 || res.AvgWaitS() != 0 {
+		t.Fatalf("uncontended: grants=%d wait=%v avg=%v, want 2/0/0",
+			res.Grants(), res.TotalWaitS(), res.AvgWaitS())
+	}
+}
+
+func TestResourceWaitAccountingFlatRequests(t *testing.T) {
+	// The flat callback path (Request) shares the accounting with
+	// Acquire: two immediate grants, one queued 3s.
+	env := NewEnv()
+	res := NewResource(env, 2)
+	hold := func() { env.After(3, res.Release) }
+	res.Request(hold)
+	res.Request(hold)
+	res.Request(hold)
+	env.Run()
+	if res.Grants() != 3 {
+		t.Fatalf("grants = %d, want 3", res.Grants())
+	}
+	if res.TotalWaitS() != 3 {
+		t.Fatalf("total wait = %v, want 3", res.TotalWaitS())
+	}
+}
+
 func TestResourceReleaseIdlePanics(t *testing.T) {
 	env := NewEnv()
 	res := NewResource(env, 1)

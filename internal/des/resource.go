@@ -14,12 +14,21 @@ type Resource struct {
 	// peak tracks the maximum simultaneous utilization, handy for
 	// asserting contention in tests.
 	peak int
+	// Queueing-delay accounting: total virtual seconds claimants spent
+	// queued and the number of grants (immediate grants count with zero
+	// wait). Pure bookkeeping — no events are scheduled for it — so
+	// enabling multi-tenant contention reports cannot perturb event
+	// order.
+	waitTotal float64
+	grants    int64
 }
 
-// rwaiter is one queued claimant: a parked process or a grant callback.
+// rwaiter is one queued claimant: a parked process or a grant callback,
+// stamped with its enqueue time for queueing-delay accounting.
 type rwaiter struct {
-	p  *Proc
-	fn func()
+	p    *Proc
+	fn   func()
+	enqT float64
 }
 
 // NewResource returns a resource with the given capacity (>= 1).
@@ -39,6 +48,7 @@ func (r *Resource) take() bool {
 	if r.inUse > r.peak {
 		r.peak = r.inUse
 	}
+	r.grants++
 	return true
 }
 
@@ -47,7 +57,7 @@ func (r *Resource) Acquire(p *Proc) {
 	if r.take() {
 		return
 	}
-	r.waitQ = append(r.waitQ, rwaiter{p: p})
+	r.waitQ = append(r.waitQ, rwaiter{p: p, enqT: r.env.now})
 	p.park()
 }
 
@@ -60,7 +70,7 @@ func (r *Resource) Request(fn func()) {
 		fn()
 		return
 	}
-	r.waitQ = append(r.waitQ, rwaiter{fn: fn})
+	r.waitQ = append(r.waitQ, rwaiter{fn: fn, enqT: r.env.now})
 }
 
 // Release frees one slot, waking the longest-waiting claimant if any.
@@ -73,6 +83,8 @@ func (r *Resource) Release() {
 	if len(r.waitQ) > 0 {
 		next := r.waitQ[0]
 		r.waitQ = r.waitQ[1:]
+		r.waitTotal += r.env.now - next.enqT
+		r.grants++
 		// inUse stays the same: the slot moves to next.
 		if next.p != nil {
 			r.env.resume(r.env.now, next.p, nil)
@@ -110,3 +122,21 @@ func (r *Resource) InUse() int   { return r.inUse }
 func (r *Resource) Cap() int     { return r.cap }
 func (r *Resource) Waiting() int { return len(r.waitQ) }
 func (r *Resource) Peak() int    { return r.peak }
+
+// Grants reports how many slot grants have occurred (immediate and
+// queued alike).
+func (r *Resource) Grants() int64 { return r.grants }
+
+// TotalWaitS reports the cumulative virtual seconds claimants spent in
+// the wait queue before being granted a slot.
+func (r *Resource) TotalWaitS() float64 { return r.waitTotal }
+
+// AvgWaitS reports the mean queueing delay per grant — the observable
+// the multi-tenant contention reports use to show a shared backend
+// saturating. Zero when nothing has been granted.
+func (r *Resource) AvgWaitS() float64 {
+	if r.grants == 0 {
+		return 0
+	}
+	return r.waitTotal / float64(r.grants)
+}

@@ -16,6 +16,11 @@ import (
 // transforms of the old process bodies — same schedule calls in the same
 // order — so event order and reported metrics are bit-identical.
 
+// xferStarter is what a rank machine needs from its transfer op: both
+// the single-tenant LocalXfer and the multi-tenant SharedXfer satisfy
+// it, so one state machine serves both deployment modes.
+type xferStarter interface{ Start() }
+
 // simWriter replays the simulation rank: sleep one write period, stage a
 // snapshot locally, record stats (when sinks are set), repeat while the
 // wake-up check falls before the horizon.
@@ -27,7 +32,8 @@ type simWriter struct {
 	bytes   int64
 	time    *stats.Welford    // optional
 	tput    *stats.Throughput // optional
-	xfer    *costmodel.LocalXfer
+	samples *[]float64        // optional per-op latency sink (scale-out p50)
+	xfer    xferStarter
 	wake    func()
 }
 
@@ -41,12 +47,13 @@ func newSimWriter(env *des.Env, model *costmodel.Model, cfg simWriterConfig) *si
 		bytes:   cfg.bytes,
 		time:    cfg.time,
 		tput:    cfg.tput,
+		samples: cfg.samples,
 	}
 	w.wake = func() {
 		w.start = w.env.Now()
 		w.xfer.Start()
 	}
-	w.xfer = model.NewLocalWrite(cfg.backend, cfg.node, cfg.sizeMB, func() {
+	done := func() {
 		now := w.env.Now()
 		d := now - w.start
 		if w.time != nil {
@@ -55,10 +62,18 @@ func newSimWriter(env *des.Env, model *costmodel.Model, cfg simWriterConfig) *si
 		if w.tput != nil {
 			w.tput.Add(w.bytes, d)
 		}
+		if w.samples != nil {
+			*w.samples = append(*w.samples, d)
+		}
 		if now < w.horizon {
 			w.env.After(w.period, w.wake)
 		}
-	})
+	}
+	if cfg.shared {
+		w.xfer = model.NewSharedLocalWrite(cfg.backend, cfg.node, cfg.sizeMB, done)
+	} else {
+		w.xfer = model.NewLocalWrite(cfg.backend, cfg.node, cfg.sizeMB, done)
+	}
 	env.At(env.Now(), func() {
 		if w.env.Now() < w.horizon {
 			w.env.After(w.period, w.wake)
@@ -76,6 +91,10 @@ type simWriterConfig struct {
 	bytes   int64
 	time    *stats.Welford
 	tput    *stats.Throughput
+	samples *[]float64
+	// shared routes the write through the multi-tenant shared
+	// deployment (costmodel.NewSharedLocalWrite).
+	shared bool
 }
 
 // aiReader replays the trainer rank of Pattern 1: poll every read
@@ -89,9 +108,9 @@ type aiReader struct {
 	lastRead    float64
 	start       float64
 	bytes       int64
-	time        *stats.Welford
-	tput        *stats.Throughput
-	xfer        *costmodel.LocalXfer
+	time        *stats.Welford    // optional
+	tput        *stats.Throughput // optional
+	xfer        xferStarter
 	wake        func()
 }
 
@@ -105,6 +124,9 @@ type aiReaderConfig struct {
 	bytes       int64
 	time        *stats.Welford
 	tput        *stats.Throughput
+	// shared routes the read through the multi-tenant shared deployment
+	// (costmodel.NewSharedLocalRead).
+	shared bool
 }
 
 func newAIReader(env *des.Env, model *costmodel.Model, cfg aiReaderConfig) *aiReader {
@@ -125,15 +147,24 @@ func newAIReader(env *des.Env, model *costmodel.Model, cfg aiReaderConfig) *aiRe
 		r.start = now
 		r.xfer.Start()
 	}
-	r.xfer = model.NewLocalRead(cfg.backend, cfg.node, cfg.sizeMB, func() {
+	done := func() {
 		now := r.env.Now()
 		d := now - r.start
-		r.time.Add(d)
-		r.tput.Add(r.bytes, d)
+		if r.time != nil {
+			r.time.Add(d)
+		}
+		if r.tput != nil {
+			r.tput.Add(r.bytes, d)
+		}
 		if now < r.horizon {
 			r.env.After(r.readPeriod, r.wake)
 		}
-	})
+	}
+	if cfg.shared {
+		r.xfer = model.NewSharedLocalRead(cfg.backend, cfg.node, cfg.sizeMB, done)
+	} else {
+		r.xfer = model.NewLocalRead(cfg.backend, cfg.node, cfg.sizeMB, done)
+	}
 	env.At(env.Now(), func() {
 		if r.env.Now() < r.horizon {
 			r.env.After(r.readPeriod, r.wake)

@@ -62,6 +62,9 @@ func init() {
 	scenario.Register(scenario.New("ablation",
 		"Mechanism ablations — MDS service time, cache share, Dragon incast latency",
 		sweepDefaults, runAblationScenario))
+	scenario.Register(scenario.New("scale-out",
+		"Multi-tenant contention — N co-scheduled workflows on one shared deployment (slowdown + collapse curves)",
+		scenario.Params{SweepIters: 600, Tenants: 16}, runScaleOutScenario))
 	// "all" reproduces the paper's core artifacts in presentation order
 	// (the streaming extension and ablations remain separate ids, as in
 	// the pre-registry CLI).

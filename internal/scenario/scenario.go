@@ -37,6 +37,10 @@ type Params struct {
 	Transfers int `json:"transfers,omitempty"`
 	// TimelineWindowS: emulated seconds of timeline rendered by Fig 2 (25).
 	TimelineWindowS float64 `json:"timeline_window_s,omitempty"`
+	// Tenants caps the co-scheduled workflow count of the multi-tenant
+	// scale-out family: the tenant sweep doubles 1, 2, 4, … up to this
+	// value (16).
+	Tenants int `json:"tenants,omitempty"`
 }
 
 // merge fills zero fields of p from d.
@@ -55,6 +59,9 @@ func (p Params) merge(d Params) Params {
 	}
 	if p.TimelineWindowS == 0 {
 		p.TimelineWindowS = d.TimelineWindowS
+	}
+	if p.Tenants == 0 {
+		p.Tenants = d.Tenants
 	}
 	return p
 }

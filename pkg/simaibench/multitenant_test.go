@@ -1,0 +1,41 @@
+package simaibench
+
+import (
+	"context"
+	"testing"
+)
+
+func TestPublicScaleOutPoint(t *testing.T) {
+	one := RunScaleOut(ScaleOutConfig{Tenants: 1, Backend: Redis, SizeMB: 8, TrainIters: 80})
+	four := RunScaleOut(ScaleOutConfig{Tenants: 4, Backend: Redis, SizeMB: 8, TrainIters: 80})
+	if one.Writes == 0 || four.Writes == 0 {
+		t.Fatalf("no writes completed: %+v / %+v", one, four)
+	}
+	if four.StageMeanS < one.StageMeanS {
+		t.Fatalf("contention lowered latency: 1 tenant %v vs 4 tenants %v", one.StageMeanS, four.StageMeanS)
+	}
+}
+
+func TestPublicScaleOutScenario(t *testing.T) {
+	res, err := RunScenario(context.Background(), "scale-out",
+		ScenarioParams{SweepIters: 60, Tenants: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != len(Backends()) {
+		t.Fatalf("tables = %d, want one per backend", len(res.Tables))
+	}
+}
+
+func TestPublicCoSchedule(t *testing.T) {
+	tenants, err := CoSchedule(Aurora(8), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 4 || len(tenants[0].Nodes) != 2 {
+		t.Fatalf("co-schedule = %+v", tenants)
+	}
+	if SharedDeployment(NodeLocal) || !SharedDeployment(Redis) {
+		t.Fatal("SharedDeployment classification wrong")
+	}
+}
