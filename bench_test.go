@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"testing"
 
+	"simaibench/internal/clock"
 	"simaibench/internal/datastore"
 	"simaibench/internal/experiments"
 	"simaibench/internal/sweep"
@@ -33,49 +34,64 @@ func TestMain(m *testing.M) {
 	m.Run()
 }
 
-// validationCfg is a scaled-down validation run sized for benchmarking.
-func validationCfg(mode experiments.ValidationMode) experiments.ValidationConfig {
+// validationCfg is a scaled-down validation run sized for benchmarking,
+// parameterized by emulation clock. TimeScale 0.1 keeps the wall-mode
+// run meaningful — padded iterations well above scheduler noise, yet
+// still 10× compressed relative to the paper's native real-time mode —
+// while the virtual run completes as fast as its real compute allows,
+// so the measured wall/virtual ratio *understates* the speedup over an
+// uncompressed run by 10×.
+func validationCfg(mode experiments.ValidationMode, clk string) experiments.ValidationConfig {
 	return experiments.ValidationConfig{
 		Mode:         mode,
 		TrainIters:   200,
 		WritePeriod:  25,
 		ReadPeriod:   5,
-		PayloadBytes: 100_000,
-		TimeScale:    0.01,
+		PayloadBytes: 50_000,
+		TimeScale:    0.1,
 		Backend:      datastore.NodeLocal,
 		SimInitS:     0.5,
 		TrainInitS:   1.0,
+		Clock:        clk,
 	}
 }
 
-// BenchmarkTable2Validation regenerates Table 2: the event-count
-// comparison between the emulated original workflow and the mini-app.
-func BenchmarkTable2Validation(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		orig, err := experiments.RunValidation(context.Background(), validationCfg(experiments.Original))
-		if err != nil {
-			b.Fatal(err)
-		}
-		mini, err := experiments.RunValidation(context.Background(), validationCfg(experiments.MiniApp))
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(orig.Sim.Timesteps), "orig-sim-steps")
-		b.ReportMetric(float64(mini.Sim.Timesteps), "mini-sim-steps")
-		b.ReportMetric(float64(orig.Sim.TransportEvents), "orig-sim-events")
-		b.ReportMetric(float64(mini.Sim.TransportEvents), "mini-sim-events")
+// BenchmarkTable2 regenerates Table 2 — the event-count comparison
+// between the emulated original workflow and the mini-app — once per
+// emulation clock. The wall/virtual ns-per-op ratio is the headline
+// speedup of the virtual-time clock (recorded in BENCH_DES.json): the
+// same two-component emulation, identical event structure, no real
+// sleeping.
+func BenchmarkTable2(b *testing.B) {
+	for _, clk := range []string{clock.KindWall, clock.KindVirtual} {
+		b.Run("clock="+clk, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				orig, err := experiments.RunValidation(context.Background(), validationCfg(experiments.Original, clk))
+				if err != nil {
+					b.Fatal(err)
+				}
+				mini, err := experiments.RunValidation(context.Background(), validationCfg(experiments.MiniApp, clk))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(orig.Sim.Timesteps), "orig-sim-steps")
+				b.ReportMetric(float64(mini.Sim.Timesteps), "mini-sim-steps")
+				b.ReportMetric(float64(orig.Sim.TransportEvents), "orig-sim-events")
+				b.ReportMetric(float64(mini.Sim.TransportEvents), "mini-sim-events")
+			}
+		})
 	}
 }
 
 // BenchmarkTable3IterationStats regenerates Table 3: iteration-time
-// mean/std for both modes.
+// mean/std for both modes (virtual clock — the default scenario path).
 func BenchmarkTable3IterationStats(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		orig, err := experiments.RunValidation(context.Background(), validationCfg(experiments.Original))
+		orig, err := experiments.RunValidation(context.Background(), validationCfg(experiments.Original, clock.KindVirtual))
 		if err != nil {
 			b.Fatal(err)
 		}
-		mini, err := experiments.RunValidation(context.Background(), validationCfg(experiments.MiniApp))
+		mini, err := experiments.RunValidation(context.Background(), validationCfg(experiments.MiniApp, clock.KindVirtual))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,7 +105,7 @@ func BenchmarkTable3IterationStats(b *testing.B) {
 // BenchmarkFig2Timeline regenerates Fig 2: the execution-timeline
 // rendering of a validation run.
 func BenchmarkFig2Timeline(b *testing.B) {
-	res, err := experiments.RunValidation(context.Background(), validationCfg(experiments.MiniApp))
+	res, err := experiments.RunValidation(context.Background(), validationCfg(experiments.MiniApp, clock.KindVirtual))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -230,20 +246,27 @@ func BenchmarkAblationIncast(b *testing.B) {
 	}
 }
 
-// BenchmarkStreamingExtension regenerates the staged-polling vs
-// streaming comparison with real data movement.
-func BenchmarkStreamingExtension(b *testing.B) {
-	var points []experiments.StreamingPoint
-	for i := 0; i < b.N; i++ {
-		var err error
-		points, err = experiments.RunStreamingComparison(context.Background(), experiments.StreamingConfig{
-			SizeMB: 1, Snapshots: 10,
+// BenchmarkStreaming regenerates the staged-polling vs streaming
+// comparison with real data movement, once per emulation clock: in
+// wall mode the consumer genuinely sleeps its poll intervals; in
+// virtual mode the same bytes move but every wait is a virtual-clock
+// pad, so the benchmark runs at transfer speed.
+func BenchmarkStreaming(b *testing.B) {
+	for _, clk := range []string{clock.KindWall, clock.KindVirtual} {
+		b.Run("clock="+clk, func(b *testing.B) {
+			var points []experiments.StreamingPoint
+			for i := 0; i < b.N; i++ {
+				var err error
+				points, err = experiments.RunStreamingComparison(context.Background(), experiments.StreamingConfig{
+					SizeMB: 1, Snapshots: 10, Clock: clk,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, pt := range points {
+				b.ReportMetric(pt.LatencyMeanS*1000, string(pt.Method)+"-latency-ms")
+			}
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	for _, pt := range points {
-		b.ReportMetric(pt.LatencyMeanS*1000, string(pt.Method)+"-latency-ms")
 	}
 }

@@ -11,11 +11,15 @@
 //	experiments -exp fig3 -format json    # machine-readable per-point records
 //	experiments -exp all -format csv -o results.csv
 //
-// The validation scenarios (table2, table3, fig2) run in real mode
-// (actual data movement on this machine, time-compressed); the scale
-// scenarios run on the simulated Aurora cluster. Progress goes to
-// stderr so -format json|csv output stays parseable. See EXPERIMENTS.md
-// for paper-vs-measured and for how to add a new scenario.
+// The validation scenarios (table2, table3, fig2) and the streaming
+// extension run in real mode: actual data movement on this machine. By
+// default they pad on a deterministic virtual clock (-clock virtual)
+// and complete at DES speed with bit-reproducible output; -clock wall
+// restores the genuine time-compressed real-time emulation. The scale
+// scenarios run on the simulated Aurora cluster either way. Progress
+// goes to stderr so -format json|csv output stays parseable. See
+// EXPERIMENTS.md for paper-vs-measured and for how to add a new
+// scenario.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"simaibench/internal/clock"
 	"simaibench/internal/experiments" // registers the paper's scenarios
 	"simaibench/internal/scenario"
 	"simaibench/internal/sweep"
@@ -41,6 +46,7 @@ func main() {
 	trainIters := flag.Int("train-iters", 2500, "validation training iterations (paper: 5000)")
 	sweepIters := flag.Int("sweep-iters", 600, "simulated training iterations per sweep point")
 	timeScale := flag.Float64("time-scale", 0.01, "wall-clock compression for real-mode validation")
+	clockKind := flag.String("clock", "", "emulation clock for the real-mode scenarios: virtual (default; deterministic, DES speed) or wall (genuine real-time emulation)")
 	tenants := flag.Int("tenants", 0, "max co-scheduled workflows for the scale-out family (0 = scenario default, 16)")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial); results are identical at any setting")
 	flag.Parse()
@@ -67,11 +73,16 @@ func main() {
 		}
 		return
 	}
+	if _, err := clock.FromKind(*clockKind); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 	params := scenario.Params{
 		TrainIters: *trainIters,
 		SweepIters: *sweepIters,
 		TimeScale:  *timeScale,
 		Tenants:    *tenants,
+		Clock:      *clockKind,
 	}
 	if err := run(*exp, *format, *out, params); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -7,6 +7,10 @@
 //
 //	go run ./examples/nekrs-ml -backend node-local -payload-mb 1.2 \
 //	    -train-iters 500 -time-scale 0.01
+//
+// By default the workflow pads on a deterministic virtual clock and
+// completes as fast as its real compute allows; -clock wall restores
+// the genuine real-time emulation.
 package main
 
 import (
@@ -28,6 +32,7 @@ func main() {
 	writePeriod := flag.Int("write-period", 100, "solver iterations between snapshots")
 	readPeriod := flag.Int("read-period", 10, "trainer iterations between polls")
 	timeScale := flag.Float64("time-scale", 0.01, "wall-clock compression")
+	clockKind := flag.String("clock", "virtual", "emulation clock: virtual (deterministic, DES speed) or wall (real time)")
 	timelineCSV := flag.String("timeline-csv", "", "optional path for a Fig-2-style timeline CSV")
 	flag.Parse()
 
@@ -67,9 +72,14 @@ func main() {
 	}
 	payload := simaibench.EncodeFloat64s(field)
 
-	w := simaibench.NewWorkflow("nekrs-ml")
+	clk, err := simaibench.ClockFromKind(*clockKind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := simaibench.NewWorkflow("nekrs-ml", simaibench.WorkflowWithClock(clk))
 	tl := simaibench.NewTimeline()
-	start := time.Now()
+	start := clk.Now()
+	wallStart := time.Now()
 
 	must(w.Register(simaibench.Component{
 		Name: "nekrs",
@@ -82,7 +92,8 @@ func main() {
 			sim, err := simaibench.NewSimulation("nekrs", simCfg,
 				simaibench.SimWithStore(store),
 				simaibench.SimWithTimeline(tl, "Simulation"),
-				simaibench.SimWithTimeScale(*timeScale))
+				simaibench.SimWithTimeScale(*timeScale),
+				simaibench.SimWithClock(clk))
 			if err != nil {
 				return err
 			}
@@ -121,7 +132,8 @@ func main() {
 			tr, err := simaibench.NewAI("gnn", aiCfg,
 				simaibench.AIWithStore(store),
 				simaibench.AIWithTimeline(tl, "Training"),
-				simaibench.AIWithTimeScale(*timeScale))
+				simaibench.AIWithTimeScale(*timeScale),
+				simaibench.AIWithClock(clk))
 			if err != nil {
 				return err
 			}
@@ -159,8 +171,8 @@ func main() {
 	if err := w.Launch(context.Background()); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("makespan: %.1f emulated s (%.2f s wall, backend %s)\n",
-		time.Since(start).Seconds()/(*timeScale), time.Since(start).Seconds(), backend)
+	fmt.Printf("makespan: %.1f emulated s (%.2f s wall, backend %s, clock %s)\n",
+		clk.Now().Sub(start).Seconds()/(*timeScale), time.Since(wallStart).Seconds(), backend, *clockKind)
 	if *timelineCSV != "" {
 		f, err := os.Create(*timelineCSV)
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"time"
 
+	"simaibench/internal/clock"
 	"simaibench/internal/config"
 	"simaibench/internal/datastore"
 	"simaibench/internal/dist"
@@ -61,6 +62,14 @@ func WithSeed(seed int64) Option { return func(t *Trainer) { t.seed = &seed } }
 
 // WithTimeScale scales emulated durations like simulation.WithTimeScale.
 func WithTimeScale(f float64) Option { return func(t *Trainer) { t.timeScale = f } }
+
+// WithClock runs the trainer against the given emulation clock, exactly
+// as simulation.WithClock does for the solver: padding and timestamps
+// come from the clock, while the real DDP step still executes (in zero
+// virtual time under a clock.Virtual).
+func WithClock(c clock.Clock) Option {
+	return func(t *Trainer) { t.now, t.sleep = c.Now, c.Sleep }
+}
 
 // Trainer is one AI component instance.
 type Trainer struct {

@@ -1,0 +1,209 @@
+package clock
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallSleepAndNow(t *testing.T) {
+	start := Wall.Now()
+	Wall.Sleep(2 * time.Millisecond)
+	if el := Wall.Now().Sub(start); el < 2*time.Millisecond {
+		t.Fatalf("wall sleep too short: %v", el)
+	}
+	// The participant protocol is a no-op.
+	Wall.Join()
+	ran := false
+	Wall.Block(func() { ran = true })
+	Wall.Leave()
+	if !ran {
+		t.Fatal("Wall.Block did not run fn")
+	}
+}
+
+func TestFromKind(t *testing.T) {
+	if c, err := FromKind(""); err != nil {
+		t.Fatal(err)
+	} else if _, ok := c.(*Virtual); !ok {
+		t.Fatalf("empty kind should default to virtual, got %T", c)
+	}
+	if c, err := FromKind(KindWall); err != nil || c != Wall {
+		t.Fatalf("wall kind: %v %v", c, err)
+	}
+	if _, err := FromKind("sundial"); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+	if !IsVirtual("") || !IsVirtual(KindVirtual) || IsVirtual(KindWall) {
+		t.Fatal("IsVirtual misclassifies")
+	}
+}
+
+func TestVirtualSingleSleeperAdvances(t *testing.T) {
+	v := NewVirtual()
+	v.Join()
+	defer v.Leave()
+	start := v.Now()
+	wallStart := time.Now()
+	v.Sleep(10 * time.Second) // ten virtual seconds, ~zero real time
+	if got := v.Now().Sub(start); got != 10*time.Second {
+		t.Fatalf("virtual elapsed %v, want 10s", got)
+	}
+	if real := time.Since(wallStart); real > time.Second {
+		t.Fatalf("virtual sleep took %v of real time", real)
+	}
+	v.Sleep(0)
+	v.Sleep(-time.Second)
+	if got := v.Now().Sub(start); got != 10*time.Second {
+		t.Fatalf("non-positive sleeps advanced time: %v", got)
+	}
+}
+
+// TestVirtualBarrierInterleaving is the tentpole property: two
+// participants padding concurrently interleave in virtual-deadline
+// order, serialized one at a time, deterministically.
+func TestVirtualBarrierInterleaving(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		v := NewVirtual()
+		var mu sync.Mutex
+		var order []string
+		v.Join() // participant a
+		v.Join() // participant b
+		var wg sync.WaitGroup
+		run := func(name string, period time.Duration, n int) {
+			defer wg.Done()
+			defer v.Leave()
+			for i := 0; i < n; i++ {
+				v.Sleep(period)
+				mu.Lock()
+				order = append(order, fmt.Sprintf("%s%d@%v", name, i, v.Now().Unix()))
+				mu.Unlock()
+			}
+		}
+		wg.Add(2)
+		go run("a", 2*time.Second, 6)
+		go run("b", 3*time.Second, 4)
+		wg.Wait()
+		// Deadlines: a at 2,4,6,8,10,12; b at 3,6,9,12. Ties (6, 12) go
+		// to the sleeper that was scheduled first: b reschedules toward
+		// 6 on waking at 3, before a does on waking at 4, so b wins at
+		// 6 — and likewise at 12 (b schedules at 9, a at 10).
+		want := "a0@2 b0@3 a1@4 b1@6 a2@6 a3@8 b2@9 a4@10 b3@12 a5@12"
+		got := ""
+		for i, o := range order {
+			if i > 0 {
+				got += " "
+			}
+			got += o
+		}
+		if got != want {
+			t.Fatalf("trial %d: interleaving %q, want %q", trial, got, want)
+		}
+	}
+}
+
+func TestVirtualLeaveReleasesBarrier(t *testing.T) {
+	v := NewVirtual()
+	v.Join()
+	v.Join()
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(5 * time.Second)
+		v.Leave()
+		close(done)
+	}()
+	// The sleeper cannot advance until this participant leaves.
+	time.Sleep(5 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("sleeper advanced while a participant was running")
+	default:
+	}
+	v.Leave()
+	<-done
+}
+
+func TestVirtualBlockAllowsCrossWaits(t *testing.T) {
+	v := NewVirtual()
+	v.Join()
+	v.Join()
+	ch := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // participant 1 waits on participant 2 through a channel
+		defer wg.Done()
+		defer v.Leave()
+		v.Block(func() { <-ch })
+		v.Sleep(time.Second)
+	}()
+	go func() { // participant 2 sleeps first, then signals
+		defer wg.Done()
+		defer v.Leave()
+		v.Sleep(2 * time.Second)
+		ch <- struct{}{}
+	}()
+	wg.Wait()
+	if got := v.NowNS(); got != int64(3*time.Second) {
+		t.Fatalf("virtual end time %v, want 3s", time.Duration(got))
+	}
+}
+
+func TestVirtualAfterFiresOnAdvance(t *testing.T) {
+	v := NewVirtual()
+	v.Join()
+	defer v.Leave()
+	ch := v.After(3 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	v.Sleep(5 * time.Second)
+	select {
+	case at := <-ch:
+		if got := at.Sub(time.Unix(0, 0).UTC()); got != 5*time.Second {
+			t.Fatalf("timer stamped %v, want 5s (fired on the advance that passed it)", got)
+		}
+	default:
+		t.Fatal("timer did not fire after time passed its deadline")
+	}
+	// Zero-duration timers fire immediately.
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestSleepCtx(t *testing.T) {
+	// Cancelled context returns promptly on Wall.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := SleepCtx(ctx, Wall, time.Hour); err == nil {
+		t.Fatal("SleepCtx on cancelled ctx should error")
+	}
+	// Virtual: sleeps in virtual time, then reports cancellation state.
+	v := NewVirtual()
+	v.Join()
+	defer v.Leave()
+	if err := SleepCtx(context.Background(), v, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.NowNS(); got != int64(time.Minute) {
+		t.Fatalf("virtual SleepCtx advanced %v, want 1m", time.Duration(got))
+	}
+}
+
+// TestVirtualNoParticipantsDrains: with nothing joined, sleeps behave
+// as an auto-advancing simulated clock for single-goroutine harnesses.
+func TestVirtualNoParticipantsDrains(t *testing.T) {
+	v := NewVirtual()
+	for i := 0; i < 100; i++ {
+		v.Sleep(time.Second)
+	}
+	if got := v.NowNS(); got != int64(100*time.Second) {
+		t.Fatalf("drained to %v, want 100s", time.Duration(got))
+	}
+}

@@ -25,11 +25,13 @@ type LocalXfer struct {
 	env  *des.Env
 	done func()
 
-	// in-memory exchange (node-local, dragon, redis)
+	// in-memory exchange (node-local, dragon, redis): one two-phase
+	// closure (grant → timed hold → release) instead of a closure per
+	// phase, halving the per-rank closure allocations of the sweeps.
 	bus     *des.Resource
 	hold    float64
-	onGrant func()
-	onHold  func()
+	holding bool
+	memStep func()
 
 	// shared file system (lustre)
 	lustre     bool
@@ -61,7 +63,8 @@ func (m *Model) NewLocalRead(b datastore.Backend, node int, mb float64, done fun
 }
 
 func (m *Model) newLocalXfer(b datastore.Backend, node int, mb, costScale float64, done func()) *LocalXfer {
-	x := &LocalXfer{env: m.env, done: done}
+	x := m.allocLocalXfer()
+	x.env, x.done = m.env, done
 	if b == datastore.FileSystem {
 		// CPS transform of lustreTransfer: metaOps × (client RPC sleep,
 		// then the MDS queue), then one OST stream.
@@ -92,8 +95,16 @@ func (m *Model) newLocalXfer(b datastore.Backend, node int, mb, costScale float6
 	overhead, bw := m.localMemParams(b)
 	x.hold = (overhead + mb/1000/m.cacheEff(bw, mb)) * costScale
 	x.bus = m.nodeBus[node%len(m.nodeBus)]
-	x.onGrant = func() { x.env.After(x.hold, x.onHold) }
-	x.onHold = func() { x.bus.Release(); x.done() }
+	x.memStep = func() {
+		if !x.holding {
+			x.holding = true // granted: hold the bus for the transfer
+			x.env.After(x.hold, x.memStep)
+			return
+		}
+		x.holding = false
+		x.bus.Release()
+		x.done()
+	}
 	return x
 }
 
@@ -104,7 +115,7 @@ func (x *LocalXfer) Start() {
 		x.step()
 		return
 	}
-	x.bus.Request(x.onGrant)
+	x.bus.Request(x.memStep)
 }
 
 // RemoteXfer models a single non-local stage_read of a fixed (backend,

@@ -23,6 +23,37 @@ type Model struct {
 
 	trainerNIC map[datastore.Backend]*des.Resource
 	sharedSvc  map[datastore.Backend]*des.Resource // multi-tenant shared-deployment service queues (see shared.go)
+
+	// Chunked arenas for the flat transfer objects: the sweeps build one
+	// LocalXfer/SharedXfer per rank, and handing them out of fixed-size
+	// chunks costs one allocation per chunk instead of one per rank.
+	// Outstanding pointers stay valid because a full chunk is abandoned
+	// in place, never copied.
+	localArena  []LocalXfer
+	sharedArena []SharedXfer
+}
+
+// xferArenaChunk is the arena chunk size; 64 fits a 512-node sweep's
+// per-model rank count in a handful of allocations without oversizing
+// the 2-node cases.
+const xferArenaChunk = 64
+
+// allocLocalXfer hands out one zeroed LocalXfer from the arena.
+func (m *Model) allocLocalXfer() *LocalXfer {
+	if len(m.localArena) == cap(m.localArena) {
+		m.localArena = make([]LocalXfer, 0, xferArenaChunk)
+	}
+	m.localArena = append(m.localArena, LocalXfer{})
+	return &m.localArena[len(m.localArena)-1]
+}
+
+// allocSharedXfer hands out one zeroed SharedXfer from the arena.
+func (m *Model) allocSharedXfer() *SharedXfer {
+	if len(m.sharedArena) == cap(m.sharedArena) {
+		m.sharedArena = make([]SharedXfer, 0, xferArenaChunk)
+	}
+	m.sharedArena = append(m.sharedArena, SharedXfer{})
+	return &m.sharedArena[len(m.sharedArena)-1]
 }
 
 // New builds a model for env/spec with the given parameters.

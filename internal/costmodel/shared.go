@@ -115,12 +115,15 @@ func (m *Model) SharedWaitS(b datastore.Backend) float64 {
 // NewSharedLocalRead; like LocalXfer it is allocated once per rank and
 // Started once per transfer, allocation-free in steady state.
 type SharedXfer struct {
-	env     *des.Env
-	svc     *des.Resource // nil: no shared serialization point
-	holdS   float64
-	inner   *LocalXfer
-	onGrant func()
-	onHold  func()
+	env   *des.Env
+	svc   *des.Resource // nil: no shared serialization point
+	holdS float64
+	inner *LocalXfer
+	// step is the two-phase service closure (grant → timed hold →
+	// release + inner transfer); one closure per rank, reused across
+	// every Start, like LocalXfer's memStep.
+	holding bool
+	step    func()
 }
 
 // NewSharedLocalWrite builds a reusable stage_write op against a shared
@@ -136,7 +139,8 @@ func (m *Model) NewSharedLocalRead(b datastore.Backend, node int, mb float64, do
 }
 
 func (m *Model) newSharedXfer(b datastore.Backend, node int, mb, costScale float64, inner *LocalXfer) *SharedXfer {
-	x := &SharedXfer{env: m.env, inner: inner}
+	x := m.allocSharedXfer()
+	x.env, x.inner = m.env, inner
 	if !datastore.SharedDeployment(b) {
 		return x
 	}
@@ -147,8 +151,16 @@ func (m *Model) newSharedXfer(b datastore.Backend, node int, mb, costScale float
 		return x
 	}
 	x.holdS = m.sharedHold(b, mb, costScale)
-	x.onHold = func() { x.svc.Release(); x.inner.Start() }
-	x.onGrant = func() { x.env.After(x.holdS, x.onHold) }
+	x.step = func() {
+		if !x.holding {
+			x.holding = true // granted: hold a service slot
+			x.env.After(x.holdS, x.step)
+			return
+		}
+		x.holding = false
+		x.svc.Release()
+		x.inner.Start()
+	}
 	return x
 }
 
@@ -159,5 +171,5 @@ func (x *SharedXfer) Start() {
 		x.inner.Start()
 		return
 	}
-	x.svc.Request(x.onGrant)
+	x.svc.Request(x.step)
 }

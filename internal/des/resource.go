@@ -10,7 +10,13 @@ type Resource struct {
 	env   *Env
 	cap   int
 	inUse int
+	// waitQ[qHead:] is the FIFO of queued claimants. Popping advances
+	// qHead instead of reslicing, and enqueue compacts the consumed
+	// prefix back to the front once the backing array fills, so a
+	// steady-state contention workload (the multi-tenant shared queues)
+	// enqueues with zero allocations after warm-up.
 	waitQ []rwaiter
+	qHead int
 	// peak tracks the maximum simultaneous utilization, handy for
 	// asserting contention in tests.
 	peak int
@@ -52,12 +58,39 @@ func (r *Resource) take() bool {
 	return true
 }
 
+// enqueue appends a claimant, reusing the consumed front of the backing
+// array before growing it.
+func (r *Resource) enqueue(w rwaiter) {
+	if r.qHead > 0 && len(r.waitQ) == cap(r.waitQ) {
+		n := copy(r.waitQ, r.waitQ[r.qHead:])
+		tail := r.waitQ[n:]
+		for i := range tail {
+			tail[i] = rwaiter{} // release claimant references
+		}
+		r.waitQ = r.waitQ[:n]
+		r.qHead = 0
+	}
+	r.waitQ = append(r.waitQ, w)
+}
+
+// dequeue removes and returns the longest-waiting claimant.
+func (r *Resource) dequeue() rwaiter {
+	next := r.waitQ[r.qHead]
+	r.waitQ[r.qHead] = rwaiter{}
+	r.qHead++
+	if r.qHead == len(r.waitQ) {
+		r.waitQ = r.waitQ[:0]
+		r.qHead = 0
+	}
+	return next
+}
+
 // Acquire blocks the calling process until a slot is free, FIFO order.
 func (r *Resource) Acquire(p *Proc) {
 	if r.take() {
 		return
 	}
-	r.waitQ = append(r.waitQ, rwaiter{p: p, enqT: r.env.now})
+	r.enqueue(rwaiter{p: p, enqT: r.env.now})
 	p.park()
 }
 
@@ -70,7 +103,7 @@ func (r *Resource) Request(fn func()) {
 		fn()
 		return
 	}
-	r.waitQ = append(r.waitQ, rwaiter{fn: fn, enqT: r.env.now})
+	r.enqueue(rwaiter{fn: fn, enqT: r.env.now})
 }
 
 // Release frees one slot, waking the longest-waiting claimant if any.
@@ -80,9 +113,8 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("des: release of idle resource")
 	}
-	if len(r.waitQ) > 0 {
-		next := r.waitQ[0]
-		r.waitQ = r.waitQ[1:]
+	if len(r.waitQ) > r.qHead {
+		next := r.dequeue()
 		r.waitTotal += r.env.now - next.enqT
 		r.grants++
 		// inUse stays the same: the slot moves to next.
@@ -120,7 +152,7 @@ func (r *Resource) UseFor(d float64, then func()) {
 // length; Peak the maximum utilization observed.
 func (r *Resource) InUse() int   { return r.inUse }
 func (r *Resource) Cap() int     { return r.cap }
-func (r *Resource) Waiting() int { return len(r.waitQ) }
+func (r *Resource) Waiting() int { return len(r.waitQ) - r.qHead }
 func (r *Resource) Peak() int    { return r.peak }
 
 // Grants reports how many slot grants have occurred (immediate and

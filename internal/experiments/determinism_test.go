@@ -1,12 +1,16 @@
 package experiments
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 
+	"simaibench/internal/clock"
 	"simaibench/internal/cluster"
 	"simaibench/internal/costmodel"
 	"simaibench/internal/datastore"
 	"simaibench/internal/des"
+	"simaibench/internal/scenario"
 	"simaibench/internal/stats"
 	"simaibench/internal/sweep"
 )
@@ -251,4 +255,116 @@ func TestSweepParallelismInvariant(t *testing.T) {
 			}
 		}
 	}
+}
+
+// --- Virtual-clock determinism (the PR 4 tentpole property) ---
+//
+// Under clock.Virtual, the real-mode artifacts must be bit-deterministic
+// per seed: two runs of the same configuration render byte-identical
+// tables, because every pad is a virtual-deadline handoff instead of a
+// wall-clock race.
+
+// renderScenarioText runs a registered scenario and renders it through
+// the text reporter (the cmd/experiments path).
+func renderScenarioText(t *testing.T, name string, p scenario.Params) []byte {
+	t.Helper()
+	s, ok := scenario.Lookup(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	res, err := s.Run(bg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reporter, err := scenario.NewReporter("text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reporter.Report(&buf, []*scenario.Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestVirtualValidationTablesDeterministic(t *testing.T) {
+	p := scenario.Params{TrainIters: 150, TimeScale: 0.01, Clock: clock.KindVirtual}
+	for _, name := range []string{"table2", "table3"} {
+		a := renderScenarioText(t, name, p)
+		b := renderScenarioText(t, name, p)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs across two virtual runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", name, a, b)
+		}
+	}
+}
+
+func TestVirtualStreamingTablesDeterministic(t *testing.T) {
+	p := scenario.Params{Clock: clock.KindVirtual}
+	a := renderScenarioText(t, "streaming", p)
+	b := renderScenarioText(t, "streaming", p)
+	if !bytes.Equal(a, b) {
+		t.Errorf("streaming differs across two virtual runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+func TestVirtualFig2Deterministic(t *testing.T) {
+	p := scenario.Params{TrainIters: 120, TimeScale: 0.01, TimelineWindowS: 10, Clock: clock.KindVirtual}
+	a := renderScenarioText(t, "fig2", p)
+	b := renderScenarioText(t, "fig2", p)
+	if !bytes.Equal(a, b) {
+		t.Error("fig2 timelines differ across two virtual runs")
+	}
+}
+
+// TestWallVirtualMakespanConsistency: the virtual clock must reproduce
+// the wall-clock emulation's structure, not just run fast — the same
+// mini-app configuration yields the same emulated makespan within the
+// wall run's measurement noise.
+func TestWallVirtualMakespanConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock run is timing-sensitive under -short (race CI)")
+	}
+	cfg := ValidationConfig{
+		Mode: MiniApp, TrainIters: 60, WritePeriod: 25, ReadPeriod: 5,
+		PayloadBytes: 20_000, TimeScale: 0.05, Backend: datastore.NodeLocal,
+		SimInitS: 0.2, TrainInitS: 0.4,
+	}
+	cfg.Clock = clock.KindVirtual
+	virt, err := RunValidation(bg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall-clock makespans are inherently sensitive to outside load (the
+	// suite shares a machine with parallel test binaries), so allow a
+	// few attempts, like TestValidationMiniAppLowStd: a genuine
+	// structural regression fails every attempt.
+	const attempts = 3
+	var lastErr string
+	for attempt := 0; attempt < attempts; attempt++ {
+		cfg.Clock = clock.KindWall
+		wall, err := RunValidation(bg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Virtual transfers and compute take zero virtual time, so the
+		// wall makespan is an upper bound; it must agree within the
+		// overheads a loaded machine adds.
+		ratio := wall.MakespanS / virt.MakespanS
+		simRatio := float64(wall.Sim.Timesteps) / float64(virt.Sim.Timesteps)
+		switch {
+		case ratio < 0.95 || ratio > 1.5:
+			lastErr = fmt.Sprintf("wall/virtual makespan ratio %.3f (wall %.3f s, virtual %.3f s emulated)",
+				ratio, wall.MakespanS, virt.MakespanS)
+		// The event structure must agree exactly on the trainer side
+		// (fixed iteration count) and closely on the sim side.
+		case wall.Train.Timesteps != virt.Train.Timesteps:
+			lastErr = fmt.Sprintf("train steps: wall %d vs virtual %d", wall.Train.Timesteps, virt.Train.Timesteps)
+		case simRatio < 0.85 || simRatio > 1.5:
+			lastErr = fmt.Sprintf("sim steps diverge: wall %d vs virtual %d", wall.Sim.Timesteps, virt.Sim.Timesteps)
+		default:
+			return // wall run agrees with the virtual one
+		}
+		t.Logf("attempt %d: %s", attempt, lastErr)
+	}
+	t.Fatal(lastErr)
 }

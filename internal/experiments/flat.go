@@ -37,10 +37,23 @@ type simWriter struct {
 	wake    func()
 }
 
-// newSimWriter builds the rank and schedules its first activation at the
-// current time (as Spawn did).
+// newSimWriter builds the rank and schedules its first activation; the
+// sweeps that build hundreds of ranks preallocate them in a slab and
+// call initSimWriter directly.
 func newSimWriter(env *des.Env, model *costmodel.Model, cfg simWriterConfig) *simWriter {
-	w := &simWriter{
+	w := &simWriter{}
+	initSimWriter(w, env, model, cfg)
+	return w
+}
+
+// initSimWriter initializes a (possibly slab-allocated) rank in place
+// and schedules its first wake-up directly. Scheduling the first
+// After(period) at construction instead of through a time-zero warm-up
+// event preserves the relative order of every rank's wake-ups (ranks
+// are constructed in a fixed order either way), so event interleaving —
+// and therefore every reported metric — is unchanged.
+func initSimWriter(w *simWriter, env *des.Env, model *costmodel.Model, cfg simWriterConfig) {
+	*w = simWriter{
 		env:     env,
 		period:  cfg.period,
 		horizon: cfg.horizon,
@@ -74,12 +87,9 @@ func newSimWriter(env *des.Env, model *costmodel.Model, cfg simWriterConfig) *si
 	} else {
 		w.xfer = model.NewLocalWrite(cfg.backend, cfg.node, cfg.sizeMB, done)
 	}
-	env.At(env.Now(), func() {
-		if w.env.Now() < w.horizon {
-			w.env.After(w.period, w.wake)
-		}
-	})
-	return w
+	if env.Now() < w.horizon {
+		env.After(w.period, w.wake)
+	}
 }
 
 type simWriterConfig struct {
@@ -130,7 +140,15 @@ type aiReaderConfig struct {
 }
 
 func newAIReader(env *des.Env, model *costmodel.Model, cfg aiReaderConfig) *aiReader {
-	r := &aiReader{
+	r := &aiReader{}
+	initAIReader(r, env, model, cfg)
+	return r
+}
+
+// initAIReader initializes a (possibly slab-allocated) trainer rank in
+// place, scheduling its first poll directly like initSimWriter.
+func initAIReader(r *aiReader, env *des.Env, model *costmodel.Model, cfg aiReaderConfig) {
+	*r = aiReader{
 		env: env, readPeriod: cfg.readPeriod, writePeriod: cfg.writePeriod, horizon: cfg.horizon,
 		lastRead: -cfg.writePeriod, bytes: cfg.bytes, time: cfg.time, tput: cfg.tput,
 	}
@@ -165,12 +183,9 @@ func newAIReader(env *des.Env, model *costmodel.Model, cfg aiReaderConfig) *aiRe
 	} else {
 		r.xfer = model.NewLocalRead(cfg.backend, cfg.node, cfg.sizeMB, done)
 	}
-	env.At(env.Now(), func() {
-		if r.env.Now() < r.horizon {
-			r.env.After(r.readPeriod, r.wake)
-		}
-	})
-	return r
+	if env.Now() < r.horizon {
+		env.After(r.readPeriod, r.wake)
+	}
 }
 
 // fig5Pair replays the 2-node point-to-point loop: a local write on node

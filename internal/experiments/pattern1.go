@@ -107,30 +107,37 @@ func RunPattern1(cfg Pattern1Config) Pattern1Point {
 	var writeTime, readTime stats.Welford
 	bytes := int64(cfg.SizeMB * 1e6)
 
+	// Rank machines live in two slabs — one allocation each instead of
+	// one per rank, which matters at 512 nodes (3072 ranks).
+	writers := make([]simWriter, cfg.Nodes*place.SimTilesPerNode)
+	readers := make([]aiReader, cfg.Nodes*place.AITilesPerNode)
+	wi, ri := 0, 0
 	for node := 0; node < cfg.Nodes; node++ {
 		// Simulation ranks: write one snapshot per write period. The
 		// compute between writes is a single virtual sleep (iteration
 		// timing is deterministic, so batching sleeps loses nothing).
 		for r := 0; r < place.SimTilesPerNode; r++ {
-			newSimWriter(env, model, simWriterConfig{
+			initSimWriter(&writers[wi], env, model, simWriterConfig{
 				backend: cfg.Backend, node: node, sizeMB: cfg.SizeMB,
 				period:  float64(cfg.WritePeriod) * cfg.SimIterS,
 				horizon: horizon, bytes: bytes,
 				time: &writeTime, tput: &writeTput,
 			})
+			wi++
 		}
 		// Trainer ranks: read one snapshot per read period, but only
 		// when fresh data exists — once per write period, matching the
 		// asynchronous polling of the real workflow (most polls find
 		// nothing new; those cost no transfer).
 		for r := 0; r < place.AITilesPerNode; r++ {
-			newAIReader(env, model, aiReaderConfig{
+			initAIReader(&readers[ri], env, model, aiReaderConfig{
 				backend: cfg.Backend, node: node, sizeMB: cfg.SizeMB,
 				readPeriod:  float64(cfg.ReadPeriod) * cfg.TrainIterS,
 				writePeriod: float64(cfg.WritePeriod) * cfg.SimIterS,
 				horizon:     horizon, bytes: bytes,
 				time: &readTime, tput: &readTput,
 			})
+			ri++
 		}
 	}
 	env.RunUntil(horizon * 1.5)

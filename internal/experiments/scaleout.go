@@ -135,27 +135,38 @@ func RunScaleOut(cfg ScaleOutConfig) ScaleOutPoint {
 	bytes := int64(cfg.SizeMB * 1e6)
 	var writeTput, readTput stats.Throughput
 	var writeTime stats.Welford
-	samples := make([]float64, 0, 1024)
 
 	writePeriod := float64(cfg.WritePeriod) * cfg.SimIterS
+	nodes := cfg.Tenants * cfg.NodesPerTenant
+	simRanks := nodes * place.SimTilesPerNode
+	// Size the latency-sample sink for the expected write count (ranks ×
+	// periods, plus slack for boundary writes) so recording contention
+	// percentiles never regrows it mid-run.
+	samples := make([]float64, 0, simRanks*(int(horizon/writePeriod)+2))
+	// Slab-allocate the rank machines, as RunPattern1 does.
+	writers := make([]simWriter, simRanks)
+	readers := make([]aiReader, nodes*place.AITilesPerNode)
+	wi, ri := 0, 0
 	for _, tn := range tenants {
 		for _, node := range tn.Nodes {
 			for r := 0; r < place.SimTilesPerNode; r++ {
-				newSimWriter(env, model, simWriterConfig{
+				initSimWriter(&writers[wi], env, model, simWriterConfig{
 					backend: cfg.Backend, node: node, sizeMB: cfg.SizeMB,
 					period: writePeriod, horizon: horizon, bytes: bytes,
 					time: &writeTime, tput: &writeTput, samples: &samples,
 					shared: true,
 				})
+				wi++
 			}
 			for r := 0; r < place.AITilesPerNode; r++ {
-				newAIReader(env, model, aiReaderConfig{
+				initAIReader(&readers[ri], env, model, aiReaderConfig{
 					backend: cfg.Backend, node: node, sizeMB: cfg.SizeMB,
 					readPeriod:  float64(cfg.ReadPeriod) * cfg.TrainIterS,
 					writePeriod: writePeriod,
 					horizon:     horizon, bytes: bytes, tput: &readTput,
 					shared: true,
 				})
+				ri++
 			}
 		}
 	}

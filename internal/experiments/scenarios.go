@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"simaibench/internal/clock"
 	"simaibench/internal/scenario"
 )
 
@@ -27,8 +28,12 @@ var (
 )
 
 // validationDefaults are the paper's §4.1.1 settings; the CLI overrides
-// TrainIters/TimeScale for quick runs.
-var validationDefaults = scenario.Params{TrainIters: 5000, TimeScale: 0.01, TimelineWindowS: 25}
+// TrainIters/TimeScale for quick runs. The default clock is virtual —
+// the run is bit-deterministic and completes at DES speed; -clock wall
+// restores the genuine real-time emulation the paper measures with.
+var validationDefaults = scenario.Params{
+	TrainIters: 5000, TimeScale: 0.01, TimelineWindowS: 25, Clock: clock.KindVirtual,
+}
 
 // sweepDefaults drive the simulated-scale sweeps; 600 iterations per
 // point preserve the steady-state statistics of the paper's >=2500.
@@ -58,7 +63,7 @@ func init() {
 		sweepDefaults, runFig6Scenario))
 	scenario.Register(scenario.New("streaming",
 		"Extension — staged polling vs point-to-point streaming (real data movement)",
-		scenario.Params{}, runStreamingScenario))
+		scenario.Params{Clock: clock.KindVirtual}, runStreamingScenario))
 	scenario.Register(scenario.New("ablation",
 		"Mechanism ablations — MDS service time, cache share, Dragon incast latency",
 		sweepDefaults, runAblationScenario))
@@ -97,7 +102,7 @@ func WithValidationCache(ctx context.Context) context.Context {
 func validationPair(ctx context.Context, p scenario.Params) (orig, mini *ValidationResult, err error) {
 	cache, _ := ctx.Value(validationCacheKey{}).(*validationCache)
 	run := func(mode ValidationMode) (*ValidationResult, error) {
-		cfg := ValidationConfig{Mode: mode, TrainIters: p.TrainIters, TimeScale: p.TimeScale}
+		cfg := ValidationConfig{Mode: mode, TrainIters: p.TrainIters, TimeScale: p.TimeScale, Clock: p.Clock}
 		if cache == nil {
 			return RunValidation(ctx, cfg)
 		}
@@ -203,7 +208,7 @@ var StreamingSizes = []float64{0.4, 2, 8}
 func runStreamingScenario(ctx context.Context, p scenario.Params) (*scenario.Result, error) {
 	res := &scenario.Result{Scenario: "streaming", Params: p}
 	for _, size := range StreamingSizes {
-		points, err := RunStreamingComparison(ctx, StreamingConfig{SizeMB: size})
+		points, err := RunStreamingComparison(ctx, StreamingConfig{SizeMB: size, Clock: p.Clock})
 		if err != nil {
 			return nil, err
 		}

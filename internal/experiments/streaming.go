@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"simaibench/internal/clock"
 	"simaibench/internal/datastore"
 	"simaibench/internal/scenario"
 	"simaibench/internal/stats"
@@ -42,10 +43,25 @@ type StreamingConfig struct {
 	SizeMB    float64
 	Snapshots int
 	// PollInterval is the consumer's staging poll period — the latency
-	// floor of the staged path that streaming removes.
+	// floor of the staged path that streaming removes. It is spent on
+	// the active clock, so virtual runs carry the same poll floor in
+	// their latency decomposition as wall runs without sleeping for
+	// real.
 	PollInterval time.Duration
 	// Backend for the staged path (node-local by default).
 	Backend datastore.Backend
+	// Clock selects the time domain (clock.KindVirtual by default, see
+	// ValidationConfig.Clock). Wall runs measure real transfer times;
+	// virtual runs still move every byte for real but pad each transfer
+	// to the modeled duration SizeMB/XferGBps in virtual time, so the
+	// reported latency keeps the wall decomposition (transfer cost plus
+	// the staged path's poll floor) while the tables are deterministic
+	// and the run never sleeps for real.
+	Clock string
+	// XferGBps is the modeled transfer bandwidth of virtual runs
+	// (default 2 GB/s, the mid-range of the Fig 3 single-tenant
+	// backends). Ignored in wall mode.
+	XferGBps float64
 }
 
 func (c StreamingConfig) withDefaults() StreamingConfig {
@@ -58,14 +74,38 @@ func (c StreamingConfig) withDefaults() StreamingConfig {
 	if c.PollInterval == 0 {
 		c.PollInterval = 5 * time.Millisecond
 	}
+	if c.Clock == "" {
+		c.Clock = clock.KindVirtual
+	}
+	if c.XferGBps == 0 {
+		c.XferGBps = 2
+	}
 	return c
+}
+
+// xferPad returns the modeled virtual duration of one snapshot
+// transfer, or zero in wall mode (where transfers take their real
+// time).
+func (c StreamingConfig) xferPad() time.Duration {
+	if !clock.IsVirtual(c.Clock) {
+		return 0
+	}
+	return time.Duration(c.SizeMB / 1000 / c.XferGBps * float64(time.Second))
 }
 
 // RunStagedPolling measures the staging path: producer writes snapshots
 // under fresh keys, consumer polls at the configured interval and reads
-// when present. Cancelling ctx interrupts the poll loop.
+// when present. All waiting runs on the configured clock; in virtual
+// mode each write and read is additionally padded to its modeled
+// duration, so the reported latency decomposes exactly as a wall run's
+// (transfer + poll floor) without any real sleeping. Cancelling ctx
+// interrupts the poll loop.
 func RunStagedPolling(ctx context.Context, cfg StreamingConfig) (StreamingPoint, error) {
 	cfg = cfg.withDefaults()
+	clk, err := clock.FromKind(cfg.Clock)
+	if err != nil {
+		return StreamingPoint{}, err
+	}
 	mgr, info, err := datastore.StartBackend(cfg.Backend, "")
 	if err != nil {
 		return StreamingPoint{}, err
@@ -77,15 +117,17 @@ func RunStagedPolling(ctx context.Context, cfg StreamingConfig) (StreamingPoint,
 	}
 	defer store.Close()
 
+	pad := cfg.xferPad()
 	payload := make([]byte, int(cfg.SizeMB*1e6))
 	var lat stats.Welford
 	var tput stats.Throughput
 	for i := 0; i < cfg.Snapshots; i++ {
 		key := fmt.Sprintf("snap/%d", i)
-		start := time.Now()
+		start := clk.Now()
 		if err := store.StageWrite(key, payload); err != nil {
 			return StreamingPoint{}, err
 		}
+		clk.Sleep(pad) // virtual mode: the write's modeled duration
 		// Consumer side: poll until present, then read.
 		for {
 			if err := ctx.Err(); err != nil {
@@ -98,16 +140,17 @@ func RunStagedPolling(ctx context.Context, cfg StreamingConfig) (StreamingPoint,
 			if ok {
 				break
 			}
-			time.Sleep(cfg.PollInterval)
+			clk.Sleep(cfg.PollInterval)
 		}
 		// First poll can race the write; model the steady-state consumer
 		// that discovers the key on its next poll tick.
-		time.Sleep(cfg.PollInterval)
+		clk.Sleep(cfg.PollInterval)
 		got, err := store.StageRead(key)
 		if err != nil {
 			return StreamingPoint{}, err
 		}
-		d := time.Since(start).Seconds()
+		clk.Sleep(pad) // virtual mode: the read's modeled duration
+		d := clk.Now().Sub(start).Seconds()
 		lat.Add(d)
 		tput.Add(int64(len(got)), d)
 	}
@@ -118,16 +161,28 @@ func RunStagedPolling(ctx context.Context, cfg StreamingConfig) (StreamingPoint,
 }
 
 // RunStreamDelivery measures the push path over the given writer/reader
-// pair: the producer publishes steps, the consumer receives them with no
-// polling.
+// pair: the producer publishes steps, the consumer receives them with
+// no polling. In wall mode the latency is the measured EndStep-to-
+// receipt time; in virtual mode every byte still moves for real, but
+// each delivery is padded to its modeled transfer duration in virtual
+// time — the push path has no poll floor, which is exactly the
+// comparison the tables make.
 func RunStreamDelivery(cfg StreamingConfig, method StreamingMethod, w stream.Writer, r stream.Reader) (StreamingPoint, error) {
 	cfg = cfg.withDefaults()
+	clk, err := clock.FromKind(cfg.Clock)
+	if err != nil {
+		return StreamingPoint{}, err
+	}
+	pad := cfg.xferPad()
+	virtual := clock.IsVirtual(cfg.Clock)
 	payload := make([]byte, int(cfg.SizeMB*1e6))
 	var lat stats.Welford
 	var tput stats.Throughput
 	errCh := make(chan error, 1)
 	starts := make(chan time.Time, cfg.Snapshots)
 	go func() {
+		// The producer is a free-running goroutine outside any clock
+		// barrier: its stamps are only read in wall mode.
 		defer w.Close()
 		for i := 0; i < cfg.Snapshots; i++ {
 			step, err := w.BeginStep()
@@ -153,7 +208,14 @@ func RunStreamDelivery(cfg StreamingConfig, method StreamingMethod, w stream.Wri
 			return StreamingPoint{}, err
 		}
 		start := <-starts
-		d := time.Since(start).Seconds()
+		var d float64
+		if virtual {
+			t0 := clk.Now()
+			clk.Sleep(pad)
+			d = clk.Now().Sub(t0).Seconds()
+		} else {
+			d = time.Since(start).Seconds()
+		}
 		lat.Add(d)
 		tput.Add(int64(s.Bytes()), d)
 	}

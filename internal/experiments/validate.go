@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"simaibench/internal/ai"
+	"simaibench/internal/clock"
 	"simaibench/internal/config"
 	"simaibench/internal/datastore"
 	"simaibench/internal/scenario"
@@ -64,6 +65,12 @@ type ValidationConfig struct {
 	SimInitS   float64
 	TrainInitS float64
 	Seed       int64
+	// Clock selects the emulation time domain: clock.KindVirtual (the
+	// default) runs both components against one virtual clock — no real
+	// sleeping, bit-deterministic per seed, DES-speed — while
+	// clock.KindWall keeps the genuine-compute wall-clock emulation the
+	// paper validates with.
+	Clock string
 }
 
 func (c ValidationConfig) withDefaults() ValidationConfig {
@@ -90,6 +97,9 @@ func (c ValidationConfig) withDefaults() ValidationConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Clock == "" {
+		c.Clock = clock.KindVirtual
 	}
 	return c
 }
@@ -162,10 +172,18 @@ func dataKeys(step int) (string, string) {
 // RunValidation executes the one-to-one workflow in real mode: two
 // concurrent components exchanging real bytes through a real backend,
 // with the trainer steering the simulation to stop after its final
-// iteration — the structure of §4.1.1. Cancelling ctx aborts both
-// components at their next iteration boundary.
+// iteration — the structure of §4.1.1. Both components run against the
+// configured emulation clock: under the default virtual clock all
+// padding is free (the run completes as fast as its real compute and
+// staging allow, deterministically per seed); under the wall clock this
+// is the paper's genuine real-time emulation. Cancelling ctx aborts
+// both components at their next iteration boundary.
 func RunValidation(ctx context.Context, cfg ValidationConfig) (*ValidationResult, error) {
 	cfg = cfg.withDefaults()
+	clk, err := clock.FromKind(cfg.Clock)
+	if err != nil {
+		return nil, err
+	}
 	mgr, info, err := datastore.StartBackend(cfg.Backend, "")
 	if err != nil {
 		return nil, err
@@ -174,11 +192,11 @@ func RunValidation(ctx context.Context, cfg ValidationConfig) (*ValidationResult
 
 	tl := trace.New()
 	scale := cfg.TimeScale
-	start := time.Now()
-	elapsed := func() float64 { return time.Since(start).Seconds() / scale }
+	start := clk.Now()
+	elapsed := func() float64 { return clk.Now().Sub(start).Seconds() / scale }
 
 	res := &ValidationResult{Mode: cfg.Mode, Timeline: tl}
-	w := workflow.New("validation-" + cfg.Mode.String())
+	w := workflow.New("validation-"+cfg.Mode.String(), workflow.WithClock(clk))
 
 	// Simulation component.
 	err = w.Register(workflow.Component{
@@ -193,11 +211,12 @@ func RunValidation(ctx context.Context, cfg ValidationConfig) (*ValidationResult
 				simulation.WithStore(store),
 				simulation.WithTimeline(tl, "Simulation"),
 				simulation.WithSeed(cfg.Seed),
-				simulation.WithTimeScale(scale))
+				simulation.WithTimeScale(scale),
+				simulation.WithClock(clk))
 			if err != nil {
 				return err
 			}
-			time.Sleep(time.Duration(cfg.SimInitS * scale * float64(time.Second)))
+			clk.Sleep(time.Duration(cfg.SimInitS * scale * float64(time.Second)))
 			tl.AddSpan("Simulation", trace.KindInit, 0, elapsed(), "init")
 			// Stage valid float64 arrays so the trainer's loader gets
 			// usable samples (random bytes would decode to NaNs).
@@ -262,11 +281,12 @@ func RunValidation(ctx context.Context, cfg ValidationConfig) (*ValidationResult
 				ai.WithStore(store),
 				ai.WithTimeline(tl, "Training"),
 				ai.WithSeed(cfg.Seed+7),
-				ai.WithTimeScale(scale))
+				ai.WithTimeScale(scale),
+				ai.WithClock(clk))
 			if err != nil {
 				return err
 			}
-			time.Sleep(time.Duration(cfg.TrainInitS * scale * float64(time.Second)))
+			clk.Sleep(time.Duration(cfg.TrainInitS * scale * float64(time.Second)))
 			tl.AddSpan("Training", trace.KindInit, 0, elapsed(), "init")
 			lastStep := ""
 			for i := 1; i <= cfg.TrainIters; i++ {

@@ -64,6 +64,33 @@ type collState struct {
 	slots    []any // per-rank contribution for the current collective
 	out      any   // combined result, valid while draining
 	dead     bool
+	// Clock-bridge state (World.SetClockBridge): ranks parked waiting
+	// for slower ranks leave the emulation clock's barrier; the rank
+	// whose broadcast releases them rejoins them first, under the
+	// mutex, so virtual time cannot slip into the wakeup window.
+	join         func()
+	leave        func()
+	genWaiters   int // ranks parked waiting for the current combine
+	entryWaiters int // ranks parked waiting for the previous drain
+}
+
+// leaveOne parks the calling rank off the clock barrier (bridge only).
+func (c *collState) leaveOne(ctr *int) {
+	if c.leave != nil {
+		c.leave()
+		*ctr++
+	}
+}
+
+// joinAll rejoins every rank parked on ctr; call before the broadcast
+// that wakes them.
+func (c *collState) joinAll(ctr *int) {
+	if c.join != nil {
+		for i := 0; i < *ctr; i++ {
+			c.join()
+		}
+	}
+	*ctr = 0
 }
 
 func newCollState(n int) *collState {
@@ -86,22 +113,35 @@ func (c *collState) rendezvous(rank int, contribution any, combine func(slots []
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Entry phase: the previous collective must be fully drained before
-	// this rank may deposit for the next one.
-	for c.draining {
-		if c.dead {
-			panic("mpi: world killed during collective")
+	// this rank may deposit for the next one. Parked entrants leave the
+	// clock barrier once and are rejoined by the reopening rank; the
+	// combine broadcast may wake them spuriously, in which case they
+	// keep waiting without touching the barrier again.
+	if c.draining {
+		c.leaveOne(&c.entryWaiters)
+		for c.draining {
+			if c.dead {
+				panic("mpi: world killed during collective")
+			}
+			c.cond.Wait()
 		}
-		c.cond.Wait()
+	}
+	if c.dead {
+		panic("mpi: world killed during collective")
 	}
 	gen := c.gen
 	c.slots[rank] = contribution
 	c.arrived++
 	if c.arrived == c.n {
 		c.out = combine(c.slots)
+		// Rejoin the n-1 parked ranks before releasing them: they wake
+		// already inside the clock barrier.
+		c.joinAll(&c.genWaiters)
 		c.gen++
 		c.draining = true
 		c.cond.Broadcast()
 	} else {
+		c.leaveOne(&c.genWaiters)
 		for gen == c.gen {
 			if c.dead {
 				panic("mpi: world killed during collective")
@@ -119,20 +159,26 @@ func (c *collState) rendezvous(rank int, contribution any, combine func(slots []
 		}
 		c.out = nil
 		c.draining = false
+		c.joinAll(&c.entryWaiters)
 		c.cond.Broadcast()
 	}
 	return out
 }
 
+// rendezvous is the Comm-level entry into the shared collective state.
+func (c *Comm) rendezvous(contribution any, combine func(slots []any) any) any {
+	return c.world.coll.rendezvous(c.rank, contribution, combine)
+}
+
 // Barrier blocks until every rank in the world has entered it.
 func (c *Comm) Barrier() {
-	c.world.coll.rendezvous(c.rank, nil, func([]any) any { return nil })
+	c.rendezvous(nil, func([]any) any { return nil })
 }
 
 // Bcast broadcasts root's buffer to all ranks. Every rank passes its own
 // buf; non-root buffers are overwritten in place (lengths must match).
 func (c *Comm) Bcast(root int, buf []float64) {
-	out := c.world.coll.rendezvous(c.rank, buf, func(slots []any) any {
+	out := c.rendezvous(buf, func(slots []any) any {
 		src := slots[root].([]float64)
 		cp := make([]float64, len(src))
 		copy(cp, src)
@@ -146,7 +192,7 @@ func (c *Comm) Bcast(root int, buf []float64) {
 func (c *Comm) AllReduce(op Op, buf []float64) {
 	contribution := make([]float64, len(buf))
 	copy(contribution, buf)
-	out := c.world.coll.rendezvous(c.rank, contribution, func(slots []any) any {
+	out := c.rendezvous(contribution, func(slots []any) any {
 		acc := make([]float64, len(buf))
 		copy(acc, slots[0].([]float64))
 		for r := 1; r < len(slots); r++ {
@@ -165,7 +211,7 @@ func (c *Comm) AllReduce(op Op, buf []float64) {
 func (c *Comm) Reduce(op Op, root int, buf []float64) []float64 {
 	contribution := make([]float64, len(buf))
 	copy(contribution, buf)
-	out := c.world.coll.rendezvous(c.rank, contribution, func(slots []any) any {
+	out := c.rendezvous(contribution, func(slots []any) any {
 		acc := make([]float64, len(buf))
 		copy(acc, slots[0].([]float64))
 		for r := 1; r < len(slots); r++ {
@@ -187,7 +233,7 @@ func (c *Comm) Reduce(op Op, root int, buf []float64) []float64 {
 func (c *Comm) AllGather(buf []float64) []float64 {
 	contribution := make([]float64, len(buf))
 	copy(contribution, buf)
-	out := c.world.coll.rendezvous(c.rank, contribution, func(slots []any) any {
+	out := c.rendezvous(contribution, func(slots []any) any {
 		var all []float64
 		for _, s := range slots {
 			all = append(all, s.([]float64)...)
@@ -205,7 +251,7 @@ func (c *Comm) AllGather(buf []float64) []float64 {
 func (c *Comm) Gather(root int, buf []float64) []float64 {
 	contribution := make([]float64, len(buf))
 	copy(contribution, buf)
-	out := c.world.coll.rendezvous(c.rank, contribution, func(slots []any) any {
+	out := c.rendezvous(contribution, func(slots []any) any {
 		var all []float64
 		for _, s := range slots {
 			all = append(all, s.([]float64)...)
@@ -225,7 +271,7 @@ func (c *Comm) Gather(root int, buf []float64) []float64 {
 // rank's chunk on every rank. len(data) must be a multiple of Size on
 // root; other ranks may pass nil.
 func (c *Comm) Scatter(root int, data []float64) []float64 {
-	out := c.world.coll.rendezvous(c.rank, data, func(slots []any) any {
+	out := c.rendezvous(data, func(slots []any) any {
 		src := slots[root].([]float64)
 		cp := make([]float64, len(src))
 		copy(cp, src)
@@ -271,7 +317,7 @@ func (c *Comm) AllToAll(buf []float64) []float64 {
 	}
 	contribution := make([]float64, len(buf))
 	copy(contribution, buf)
-	out := c.world.coll.rendezvous(c.rank, contribution, func(slots []any) any {
+	out := c.rendezvous(contribution, func(slots []any) any {
 		// Copy the slot container: ranks slice their columns after the
 		// rendezvous, by which time the shared slots array has been
 		// reset for the next collective.
@@ -297,7 +343,7 @@ func (c *Comm) ReduceScatter(op Op, buf []float64) []float64 {
 	}
 	contribution := make([]float64, len(buf))
 	copy(contribution, buf)
-	out := c.world.coll.rendezvous(c.rank, contribution, func(slots []any) any {
+	out := c.rendezvous(contribution, func(slots []any) any {
 		acc := make([]float64, len(buf))
 		copy(acc, slots[0].([]float64))
 		for r := 1; r < len(slots); r++ {

@@ -19,6 +19,12 @@ type mailbox struct {
 	cond    *sync.Cond
 	pending []message
 	dead    bool
+	// Clock-bridge state (World.SetClockBridge): parked receivers leave
+	// the emulation clock's barrier; the sender rejoins every parked
+	// waiter under the mutex before broadcasting.
+	join    func()
+	leave   func()
+	waiters int
 }
 
 func newMailbox() *mailbox {
@@ -30,6 +36,15 @@ func newMailbox() *mailbox {
 func (b *mailbox) put(m message) {
 	b.mu.Lock()
 	b.pending = append(b.pending, m)
+	// Rejoin every parked receiver before waking it (see
+	// World.SetClockBridge); non-matching receivers leave again from
+	// take's loop. The momentary over-count only tightens the barrier.
+	if b.join != nil {
+		for i := 0; i < b.waiters; i++ {
+			b.join()
+		}
+		b.waiters = 0
+	}
 	b.mu.Unlock()
 	b.cond.Broadcast()
 }
@@ -48,6 +63,14 @@ func (b *mailbox) take(src, tag int) message {
 		}
 		if b.dead {
 			panic("mpi: world killed while receiving")
+		}
+		// Park: release the clock barrier until a sender rejoins us.
+		// Every wake here is a put (which rejoined all waiters) or a
+		// kill (which panics above on the next pass, while the world —
+		// and any clock accounting — is being torn down anyway).
+		if b.leave != nil {
+			b.leave()
+			b.waiters++
 		}
 		b.cond.Wait()
 	}
@@ -85,6 +108,8 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 
 // Recv blocks until a message matching (src, tag) arrives — AnySource and
 // AnyTag act as wildcards — and returns its payload and actual source.
+// Under a clock bridge (World.SetClockBridge) an unmatched Recv releases
+// the emulation clock's barrier until the matching send rejoins it.
 func (c *Comm) Recv(src, tag int) (data []byte, from int) {
 	m := c.world.boxes[c.rank].take(src, tag)
 	return m.data, m.src

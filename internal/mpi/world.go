@@ -48,6 +48,27 @@ func NewWorld(size int) *World {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
+// SetClockBridge connects this world's blocking waits to an emulation
+// clock's participant barrier (clock.Virtual). A rank that parks inside
+// MPI — a Recv with no matching message, a collective waiting for
+// slower ranks — calls leave, releasing the barrier so ranks sleeping
+// on the clock can progress toward the matching send. The *waker* (the
+// sender, the last rank into a collective) calls join once per parked
+// waiter it is about to release, while still holding the monitor, so a
+// woken rank re-enters the barrier before the waker can possibly reach
+// its next sleep: virtual time can never slip past a rank in the wakeup
+// window, which keeps multi-rank components deterministic.
+//
+// Call before any communication. Both hooks must be safe for concurrent
+// use; pass clock.Clock.Join/Leave. Nil restores the default (waits run
+// inline, untracked).
+func (w *World) SetClockBridge(join, leave func()) {
+	for _, b := range w.boxes {
+		b.join, b.leave = join, leave
+	}
+	w.coll.join, w.coll.leave = join, leave
+}
+
 // Comm returns the communicator handle for the given rank.
 func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.size {

@@ -41,6 +41,13 @@ type Params struct {
 	// scale-out family: the tenant sweep doubles 1, 2, 4, … up to this
 	// value (16).
 	Tenants int `json:"tenants,omitempty"`
+	// Clock selects the emulation time domain of the real-mode
+	// scenarios (table2/table3/fig2, streaming): "virtual" (their
+	// default) pads on a deterministic virtual clock and runs at DES
+	// speed; "wall" keeps the genuine wall-clock emulation. The
+	// simulated-scale scenarios always run on DES virtual time and
+	// ignore this.
+	Clock string `json:"clock,omitempty"`
 }
 
 // merge fills zero fields of p from d.
@@ -62,6 +69,9 @@ func (p Params) merge(d Params) Params {
 	}
 	if p.Tenants == 0 {
 		p.Tenants = d.Tenants
+	}
+	if p.Clock == "" {
+		p.Clock = d.Clock
 	}
 	return p
 }

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"time"
 
+	"simaibench/internal/clock"
 	"simaibench/internal/config"
 	"simaibench/internal/datastore"
 	"simaibench/internal/dist"
@@ -50,6 +51,16 @@ func WithTimeScale(f float64) Option { return func(sim *Simulation) { sim.timeSc
 
 // WithWorkDir sets the directory I/O kernels use.
 func WithWorkDir(dir string) Option { return func(sim *Simulation) { sim.workDir = dir } }
+
+// WithClock runs the component against the given emulation clock: all
+// iteration padding and timestamps come from it. The default is the
+// wall clock (genuine-compute mode); a clock.Virtual makes every pad
+// free and deterministic. Under a virtual clock the kernels still
+// execute for real — their work simply occupies zero virtual time, and
+// the pad covers the whole sampled run_time.
+func WithClock(c clock.Clock) Option {
+	return func(sim *Simulation) { sim.now, sim.sleep = c.Now, c.Sleep }
+}
 
 // boundKernel is a compiled kernel spec.
 type boundKernel struct {

@@ -36,6 +36,7 @@ package simaibench
 
 import (
 	"simaibench/internal/ai"
+	"simaibench/internal/clock"
 	"simaibench/internal/config"
 	"simaibench/internal/datastore"
 	"simaibench/internal/simulation"
@@ -105,8 +106,34 @@ const (
 	Remote = workflow.Remote
 )
 
-// NewWorkflow returns an empty workflow.
-func NewWorkflow(name string) *Workflow { return workflow.New(name) }
+// NewWorkflow returns an empty workflow; options (WorkflowWithClock)
+// configure it at construction.
+func NewWorkflow(name string, opts ...workflow.Option) *Workflow {
+	return workflow.New(name, opts...)
+}
+
+// Clock is the emulation layer's time source: WallClock is the paper's
+// genuine-compute real-time mode; a VirtualClock runs the same
+// components deterministically at DES speed.
+type Clock = clock.Clock
+
+// VirtualClock is the deterministic simulated emulation clock.
+type VirtualClock = clock.Virtual
+
+// WallClock is the shared real-time clock.
+var WallClock = clock.Wall
+
+// NewVirtualClock returns a fresh virtual clock at the shared epoch.
+func NewVirtualClock() *VirtualClock { return clock.NewVirtual() }
+
+// ClockFromKind resolves "virtual" (or empty) to a fresh virtual clock
+// and "wall" to the wall clock.
+func ClockFromKind(kind string) (Clock, error) { return clock.FromKind(kind) }
+
+// WorkflowWithClock launches a workflow's components against the given
+// emulation clock, operating the virtual clock's participant barrier
+// across the component DAG.
+var WorkflowWithClock = workflow.WithClock
 
 // Simulation emulates a solver component.
 type Simulation = simulation.Simulation
@@ -133,6 +160,7 @@ var (
 	SimWithSeed      = simulation.WithSeed
 	SimWithTimeScale = simulation.WithTimeScale
 	SimWithWorkDir   = simulation.WithWorkDir
+	SimWithClock     = simulation.WithClock
 )
 
 // LoadSimulationConfig reads a Listing-2-style JSON file.
@@ -163,6 +191,7 @@ var (
 	AIWithTimeline  = ai.WithTimeline
 	AIWithSeed      = ai.WithSeed
 	AIWithTimeScale = ai.WithTimeScale
+	AIWithClock     = ai.WithClock
 )
 
 // LoadAIConfig reads an AI config JSON file.
