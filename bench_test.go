@@ -227,6 +227,34 @@ func BenchmarkScaleOut(b *testing.B) {
 	}
 }
 
+// BenchmarkResilience runs the fault-injection campaign in its two
+// regimes: healthy (MTBF=∞ — the interruptibility hooks riding along
+// for free on the scale-out hot path) and a short failure-dominated
+// checkpoint/restart cell. The healthy cell's cost should track
+// BenchmarkScaleOut/tenants=4; the faulty cell adds injector events,
+// checkpoint traffic and recovery reads.
+func BenchmarkResilience(b *testing.B) {
+	cells := []struct {
+		name string
+		cfg  experiments.ResilienceConfig
+	}{
+		{"mtbf=inf", experiments.ResilienceConfig{Backend: datastore.Redis, TrainIters: 200}},
+		{"mtbf=20_ckpt=4", experiments.ResilienceConfig{
+			Backend: datastore.Redis, TrainIters: 200, MTBFS: 20, CkptIntervalS: 4}},
+	}
+	for _, cell := range cells {
+		b.Run(cell.name, func(b *testing.B) {
+			var pt experiments.ResiliencePoint
+			for i := 0; i < b.N; i++ {
+				pt = experiments.RunResilience(cell.cfg)
+			}
+			b.ReportMetric(pt.WastedFrac, "wasted-frac")
+			b.ReportMetric(pt.EffGBps, "eff-GBps")
+			b.ReportMetric(float64(pt.Crashes), "crashes")
+		})
+	}
+}
+
 // BenchmarkAblationIncast regenerates the incast-latency ablation (a
 // mechanism check on the Fig 6b small-message gap).
 func BenchmarkAblationIncast(b *testing.B) {

@@ -48,6 +48,8 @@ func main() {
 	timeScale := flag.Float64("time-scale", 0.01, "wall-clock compression for real-mode validation")
 	clockKind := flag.String("clock", "", "emulation clock for the real-mode scenarios: virtual (default; deterministic, DES speed) or wall (genuine real-time emulation)")
 	tenants := flag.Int("tenants", 0, "max co-scheduled workflows for the scale-out family (0 = scenario default, 16)")
+	mtbf := flag.Float64("mtbf", 0, "per-node MTBF seconds for the resilience family: narrows the sweep to {healthy, MTBF} (0 = full default grid)")
+	ckpt := flag.Float64("ckpt", 0, "checkpoint interval seconds for the resilience family: narrows the sweep to {fail-stop, CKPT} (0 = full default grid)")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial); results are identical at any setting")
 	flag.Parse()
 
@@ -78,11 +80,13 @@ func main() {
 		os.Exit(1)
 	}
 	params := scenario.Params{
-		TrainIters: *trainIters,
-		SweepIters: *sweepIters,
-		TimeScale:  *timeScale,
-		Tenants:    *tenants,
-		Clock:      *clockKind,
+		TrainIters:   *trainIters,
+		SweepIters:   *sweepIters,
+		TimeScale:    *timeScale,
+		Tenants:      *tenants,
+		Clock:        *clockKind,
+		MTBF:         *mtbf,
+		CkptInterval: *ckpt,
 	}
 	if err := run(*exp, *format, *out, params); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

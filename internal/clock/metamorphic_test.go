@@ -1,0 +1,120 @@
+package clock
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Metamorphic properties of the Virtual clock's cooperative barrier.
+// For a set of participants each executing a fixed sequence of sleeps,
+// the final virtual time (the makespan) is max_i Σ(durations of i) —
+// a quantity with two symmetries the scheduler must preserve exactly:
+//
+//   - Join-order permutation: which participant joins or starts first
+//     cannot change the makespan (the barrier serializes wake-ups by
+//     deadline, not by goroutine identity).
+//   - Time-scale rescaling: multiplying every duration by a constant k
+//     multiplies the makespan by exactly k (deadlines are integer
+//     nanoseconds; scaling by an integer factor is exact).
+
+// participantSet is one randomized workload: per participant, a list
+// of sleep durations in nanoseconds.
+func participantSet(rng *rand.Rand) [][]int64 {
+	n := 2 + rng.Intn(6)
+	set := make([][]int64, n)
+	for i := range set {
+		steps := 1 + rng.Intn(8)
+		set[i] = make([]int64, steps)
+		for j := range set[i] {
+			set[i][j] = int64(1 + rng.Intn(1_000_000))
+		}
+	}
+	return set
+}
+
+// runVirtual executes the participant set on a fresh Virtual clock in
+// the given participant order, optionally scaling every duration, and
+// returns the final virtual offset.
+func runVirtual(set [][]int64, order []int, scale int64) int64 {
+	v := NewVirtual()
+	// Join everyone up front (the orchestrator pattern of
+	// workflow.Launch): no participant can outrun another's start.
+	for range order {
+		v.Join()
+	}
+	var wg sync.WaitGroup
+	for _, idx := range order {
+		durs := set[idx]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, d := range durs {
+				v.Sleep(time.Duration(d * scale))
+			}
+			v.Leave()
+		}()
+	}
+	wg.Wait()
+	return v.NowNS()
+}
+
+// expectedMakespan is the analytic ground truth.
+func expectedMakespan(set [][]int64, scale int64) int64 {
+	best := int64(0)
+	for _, durs := range set {
+		sum := int64(0)
+		for _, d := range durs {
+			sum += d * scale
+		}
+		if sum > best {
+			best = sum
+		}
+	}
+	return best
+}
+
+func TestVirtualMakespanMatchesAnalytic(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		set := participantSet(rng)
+		order := rng.Perm(len(set))
+		got := runVirtual(set, order, 1)
+		if want := expectedMakespan(set, 1); got != want {
+			t.Fatalf("seed %d: makespan %d, want %d", seed, got, want)
+		}
+	}
+}
+
+// TestVirtualMakespanInvariantUnderJoinOrder permutes the participant
+// start order and demands an identical makespan every time.
+func TestVirtualMakespanInvariantUnderJoinOrder(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x7a11))
+		set := participantSet(rng)
+		base := runVirtual(set, rng.Perm(len(set)), 1)
+		for trial := 0; trial < 4; trial++ {
+			if got := runVirtual(set, rng.Perm(len(set)), 1); got != base {
+				t.Fatalf("seed %d trial %d: makespan %d, permuted baseline %d",
+					seed, trial, got, base)
+			}
+		}
+	}
+}
+
+// TestVirtualMakespanScalesLinearly rescales every duration by integer
+// factors and demands the makespan scale by exactly the same factor.
+func TestVirtualMakespanScalesLinearly(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x5ca1e))
+		set := participantSet(rng)
+		order := rng.Perm(len(set))
+		base := runVirtual(set, order, 1)
+		for _, k := range []int64{2, 7, 1000} {
+			if got := runVirtual(set, order, k); got != k*base {
+				t.Fatalf("seed %d scale %d: makespan %d, want %d", seed, k, got, k*base)
+			}
+		}
+	}
+}

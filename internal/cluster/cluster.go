@@ -141,6 +141,80 @@ func CoSchedule(s Spec, n, nodesPer int) ([]Tenant, error) {
 	return tenants, nil
 }
 
+// NodeSet tracks the up/down availability of a partition's nodes — the
+// cluster-side state of the fault-injection layer (internal/faults).
+// The zero value is unusable; construct with NewNodeSet, which starts
+// every node up. NodeSet is not safe for concurrent use: like the rest
+// of the simulated-scale state it is mutated only from the single
+// scheduler goroutine of a des.Env.
+type NodeSet struct {
+	up  []bool
+	nUp int
+	// fails counts Fail transitions, the cluster-level crash tally the
+	// resilience reports use.
+	fails int
+}
+
+// NewNodeSet returns the availability state for spec, all nodes up.
+func NewNodeSet(s Spec) *NodeSet {
+	ns := &NodeSet{up: make([]bool, s.Nodes), nUp: s.Nodes}
+	for i := range ns.up {
+		ns.up[i] = true
+	}
+	return ns
+}
+
+// Nodes returns the partition size.
+func (ns *NodeSet) Nodes() int { return len(ns.up) }
+
+// Up reports whether node is currently available.
+func (ns *NodeSet) Up(node int) bool { return ns.up[node] }
+
+// UpCount reports how many nodes are currently available.
+func (ns *NodeSet) UpCount() int { return ns.nUp }
+
+// Fails reports the number of Fail transitions so far.
+func (ns *NodeSet) Fails() int { return ns.fails }
+
+// Fail marks node down, reporting whether it was up (failing a node
+// twice is a no-op, matching fail-stop semantics: a crashed node cannot
+// crash again until restored).
+func (ns *NodeSet) Fail(node int) bool {
+	if !ns.up[node] {
+		return false
+	}
+	ns.up[node] = false
+	ns.nUp--
+	ns.fails++
+	return true
+}
+
+// Restore marks node up again after repair, reporting whether it was
+// down.
+func (ns *NodeSet) Restore(node int) bool {
+	if ns.up[node] {
+		return false
+	}
+	ns.up[node] = true
+	ns.nUp++
+	return true
+}
+
+// Replacement returns a deterministic re-placement target for work that
+// was running on a failed node: the first up node scanning round-robin
+// from failed+1 (so consecutive failures spread over the partition
+// instead of piling onto node 0). ok is false when every node is down.
+func (ns *NodeSet) Replacement(failed int) (node int, ok bool) {
+	n := len(ns.up)
+	for i := 1; i <= n; i++ {
+		c := (failed + i) % n
+		if ns.up[c] {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
 // Oversubscription reports the mean number of tenant placements per
 // *occupied* physical node: exactly 1.0 when every tenant has dedicated
 // nodes (regardless of how much of the partition is idle), above 1 when

@@ -146,3 +146,48 @@ func TestCoScheduleRejectsBadRequests(t *testing.T) {
 		t.Error("accepted invalid spec")
 	}
 }
+
+func TestNodeSetFailRestore(t *testing.T) {
+	ns := NewNodeSet(Aurora(4))
+	if ns.Nodes() != 4 || ns.UpCount() != 4 {
+		t.Fatalf("fresh set: %d nodes, %d up", ns.Nodes(), ns.UpCount())
+	}
+	if !ns.Fail(2) {
+		t.Fatal("Fail(2) on an up node returned false")
+	}
+	if ns.Fail(2) {
+		t.Fatal("Fail(2) twice should be a no-op")
+	}
+	if ns.Up(2) || ns.UpCount() != 3 || ns.Fails() != 1 {
+		t.Fatalf("after fail: up=%v upcount=%d fails=%d", ns.Up(2), ns.UpCount(), ns.Fails())
+	}
+	if !ns.Restore(2) {
+		t.Fatal("Restore(2) on a down node returned false")
+	}
+	if ns.Restore(2) {
+		t.Fatal("Restore(2) twice should be a no-op")
+	}
+	if !ns.Up(2) || ns.UpCount() != 4 || ns.Fails() != 1 {
+		t.Fatalf("after restore: up=%v upcount=%d fails=%d", ns.Up(2), ns.UpCount(), ns.Fails())
+	}
+}
+
+func TestNodeSetReplacementRoundRobin(t *testing.T) {
+	ns := NewNodeSet(Aurora(4))
+	ns.Fail(1)
+	if n, ok := ns.Replacement(1); !ok || n != 2 {
+		t.Fatalf("Replacement(1) = %d,%v, want 2,true", n, ok)
+	}
+	ns.Fail(2)
+	if n, ok := ns.Replacement(1); !ok || n != 3 {
+		t.Fatalf("Replacement(1) with 2 down = %d,%v, want 3,true", n, ok)
+	}
+	ns.Fail(3)
+	if n, ok := ns.Replacement(3); !ok || n != 0 {
+		t.Fatalf("Replacement(3) wraps to %d,%v, want 0,true", n, ok)
+	}
+	ns.Fail(0)
+	if _, ok := ns.Replacement(0); ok {
+		t.Fatal("Replacement with all nodes down should report !ok")
+	}
+}

@@ -30,11 +30,13 @@ type Resource struct {
 }
 
 // rwaiter is one queued claimant: a parked process or a grant callback,
-// stamped with its enqueue time for queueing-delay accounting.
+// stamped with its enqueue time for queueing-delay accounting. g is
+// non-nil for cancellable requests (RequestCancellable).
 type rwaiter struct {
 	p    *Proc
 	fn   func()
 	enqT float64
+	g    *Grant
 }
 
 // NewResource returns a resource with the given capacity (>= 1).
@@ -108,15 +110,24 @@ func (r *Resource) Request(fn func()) {
 
 // Release frees one slot, waking the longest-waiting claimant if any.
 // The slot transfers directly to the woken claimant, preserving FIFO
-// fairness (no barging).
+// fairness (no barging). Cancelled claimants (Grant.Cancel) are dropped
+// silently on the way: they count neither as grants nor toward the
+// queueing-delay totals, and a release that finds only cancelled
+// claimants frees the slot as if the queue were empty.
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("des: release of idle resource")
 	}
-	if len(r.waitQ) > r.qHead {
+	for len(r.waitQ) > r.qHead {
 		next := r.dequeue()
+		if next.g != nil && next.g.cancelled {
+			continue // claimant withdrew while queued
+		}
 		r.waitTotal += r.env.now - next.enqT
 		r.grants++
+		if next.g != nil {
+			next.g.granted = true
+		}
 		// inUse stays the same: the slot moves to next.
 		if next.p != nil {
 			r.env.resume(r.env.now, next.p, nil)
@@ -126,6 +137,47 @@ func (r *Resource) Release() {
 		return
 	}
 	r.inUse--
+}
+
+// Grant is the cancellation handle of RequestCancellable: the claimant
+// side of an interruptible queue entry (a checkpoint write whose node
+// crashes while queued on the shared service slots). Cancel withdraws
+// the claimant while it is still queued; once the slot is granted the
+// handle is inert and the holder must Release as usual.
+type Grant struct {
+	granted   bool
+	cancelled bool
+}
+
+// Granted reports whether the slot was handed to the claimant (its fn
+// ran or is scheduled to run).
+func (g *Grant) Granted() bool { return g.granted }
+
+// Cancel withdraws a still-queued claimant, reporting whether it
+// actually withdrew (false once granted or already cancelled). A
+// withdrawn claimant's fn never runs and its wait never counts in the
+// queueing-delay accounting.
+func (g *Grant) Cancel() bool {
+	if g.granted || g.cancelled {
+		return false
+	}
+	g.cancelled = true
+	return true
+}
+
+// RequestCancellable is Request with a cancellation handle: fn runs
+// holding a slot — synchronously if one is free, otherwise when granted
+// in FIFO order — unless the returned Grant is cancelled while still
+// queued. Event order is identical to Request for uncancelled grants.
+func (r *Resource) RequestCancellable(fn func()) *Grant {
+	g := &Grant{}
+	if r.take() {
+		g.granted = true
+		fn()
+		return g
+	}
+	r.enqueue(rwaiter{fn: fn, enqT: r.env.now, g: g})
+	return g
 }
 
 // Use acquires the resource, holds it for d virtual seconds, and releases.
@@ -149,7 +201,8 @@ func (r *Resource) UseFor(d float64, then func()) {
 }
 
 // InUse reports current utilization; Cap the capacity; Waiting the queue
-// length; Peak the maximum utilization observed.
+// length (including claimants cancelled but not yet drained by a
+// Release); Peak the maximum utilization observed.
 func (r *Resource) InUse() int   { return r.inUse }
 func (r *Resource) Cap() int     { return r.cap }
 func (r *Resource) Waiting() int { return len(r.waitQ) - r.qHead }

@@ -50,6 +50,25 @@ func (n Normal) Sample(rng *rand.Rand) float64 {
 // for the narrow kernel-time distributions the configs use.
 func (n Normal) Mean() float64 { return n.MeanV }
 
+// Exponential is the memoryless distribution: inter-arrival times of
+// node failures and straggler episodes in the fault-injection layer
+// (MTBF draws). Parameterized by its mean (the MTBF itself).
+type Exponential struct {
+	MeanV float64
+}
+
+// Sample draws from Exp(1/MeanV). A non-positive mean degenerates to
+// zero, matching the truncation conventions of the other samplers.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	if e.MeanV <= 0 {
+		return 0
+	}
+	return rng.ExpFloat64() * e.MeanV
+}
+
+// Mean returns the distribution mean (the MTBF).
+func (e Exponential) Mean() float64 { return e.MeanV }
+
 // LogNormal is parameterized by the mean and standard deviation of the
 // distribution itself (not of the underlying normal), matching how the
 // paper reports profiled iteration times.

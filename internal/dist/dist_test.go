@@ -139,10 +139,33 @@ func TestDiscreteRejects(t *testing.T) {
 	}
 }
 
+func TestExponential(t *testing.T) {
+	s := Exponential{MeanV: 120}
+	if s.Mean() != 120 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	rng := rand.New(rand.NewSource(7))
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		v := s.Sample(rng)
+		if v < 0 {
+			t.Fatalf("negative sample %v", v)
+		}
+		sum += v
+	}
+	if got := sum / float64(n); math.Abs(got-120) > 2 {
+		t.Fatalf("empirical mean %v, want ~120", got)
+	}
+	if v := (Exponential{}).Sample(rng); v != 0 {
+		t.Fatalf("zero-mean exponential sampled %v", v)
+	}
+}
+
 func TestSamplersDeterministic(t *testing.T) {
 	ln, _ := NewLogNormal(1, 0.5)
 	di, _ := NewDiscrete([]float64{1, 2, 3}, []float64{1, 2, 3})
-	for _, s := range []Sampler{Normal{MeanV: 1, Std: 0.1}, ln, di} {
+	for _, s := range []Sampler{Normal{MeanV: 1, Std: 0.1}, ln, di, Exponential{MeanV: 2}} {
 		a := s.Sample(rand.New(rand.NewSource(42)))
 		b := s.Sample(rand.New(rand.NewSource(42)))
 		if a != b {

@@ -70,6 +70,9 @@ func init() {
 	scenario.Register(scenario.New("scale-out",
 		"Multi-tenant contention — N co-scheduled workflows on one shared deployment (slowdown + collapse curves)",
 		scenario.Params{SweepIters: 600, Tenants: 16}, runScaleOutScenario))
+	scenario.Register(scenario.New("resilience",
+		"Fault injection — node crashes vs checkpoint/restart cadence per backend (wasted work + optimal interval)",
+		scenario.Params{SweepIters: 600, Tenants: 4}, runResilienceScenario))
 	// "all" reproduces the paper's core artifacts in presentation order
 	// (the streaming extension and ablations remain separate ids, as in
 	// the pre-registry CLI).

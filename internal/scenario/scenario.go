@@ -48,6 +48,14 @@ type Params struct {
 	// simulated-scale scenarios always run on DES virtual time and
 	// ignore this.
 	Clock string `json:"clock,omitempty"`
+	// MTBF narrows the resilience family's per-node mean-time-between-
+	// failures sweep to {healthy, MTBF} seconds (0 = the scenario's full
+	// default grid).
+	MTBF float64 `json:"mtbf_s,omitempty"`
+	// CkptInterval narrows the resilience family's checkpoint-cadence
+	// sweep to {fail-stop, CkptInterval} seconds (0 = the full default
+	// grid).
+	CkptInterval float64 `json:"ckpt_interval_s,omitempty"`
 }
 
 // merge fills zero fields of p from d.
@@ -72,6 +80,12 @@ func (p Params) merge(d Params) Params {
 	}
 	if p.Clock == "" {
 		p.Clock = d.Clock
+	}
+	if p.MTBF == 0 {
+		p.MTBF = d.MTBF
+	}
+	if p.CkptInterval == 0 {
+		p.CkptInterval = d.CkptInterval
 	}
 	return p
 }

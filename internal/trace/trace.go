@@ -82,18 +82,31 @@ func (tl *Timeline) Spans() []Span {
 	return cp
 }
 
-// Lanes returns the distinct lane names in first-appearance order.
+// Lanes returns the distinct lane names ordered by (earliest span
+// start, name). Insertion order would depend on how concurrently-
+// running components interleave their Add calls — two components whose
+// first spans share a start time (both initializing at t=0) would swap
+// lanes from run to run — so the order is derived from the recorded
+// times instead, with the name as a deterministic tie-break.
 func (tl *Timeline) Lanes() []string {
 	tl.mu.Lock()
 	defer tl.mu.Unlock()
-	seen := map[string]bool{}
+	first := map[string]float64{}
 	var lanes []string
 	for _, s := range tl.spans {
-		if !seen[s.Lane] {
-			seen[s.Lane] = true
-			lanes = append(lanes, s.Lane)
+		if t, ok := first[s.Lane]; !ok || s.Start < t {
+			if !ok {
+				lanes = append(lanes, s.Lane)
+			}
+			first[s.Lane] = s.Start
 		}
 	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if first[lanes[i]] != first[lanes[j]] {
+			return first[lanes[i]] < first[lanes[j]]
+		}
+		return lanes[i] < lanes[j]
+	})
 	return lanes
 }
 

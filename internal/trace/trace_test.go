@@ -169,3 +169,31 @@ func TestSummarizeEmptyWindow(t *testing.T) {
 		t.Fatalf("empty window summary = %v", got)
 	}
 }
+
+// TestLanesOrderedByStartThenName pins the lane order against
+// insertion-order nondeterminism: concurrently-recording components
+// whose first spans share a start time must render in (start, name)
+// order no matter which Add landed first.
+func TestLanesOrderedByStartThenName(t *testing.T) {
+	// "Training" inserted before "Simulation", both starting at 0: the
+	// name breaks the tie, not the insertion order.
+	tl := New()
+	tl.AddSpan("Training", KindInit, 0, 1, "")
+	tl.AddSpan("Simulation", KindInit, 0, 2, "")
+	tl.AddSpan("Late", KindCompute, 5, 6, "")
+	want := []string{"Simulation", "Training", "Late"}
+	got := tl.Lanes()
+	if len(got) != len(want) {
+		t.Fatalf("lanes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lanes = %v, want %v", got, want)
+		}
+	}
+	// An earlier span added later still pulls its lane forward.
+	tl.AddSpan("Late", KindCompute, -1, 0, "")
+	if got := tl.Lanes(); got[0] != "Late" {
+		t.Fatalf("after backdated span, lanes = %v, want Late first", got)
+	}
+}

@@ -1,0 +1,216 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"simaibench/internal/clock"
+	"simaibench/internal/mpi"
+)
+
+// TestRestartableLocalComponentResumesFromCheckpoint: a Local component
+// that fails restartably resumes from its last Save with an
+// incremented Attempt, and the workflow succeeds.
+func TestRestartableLocalComponentResumesFromCheckpoint(t *testing.T) {
+	w := New("wf")
+	var attempts []int
+	var resumedFrom []int
+	err := w.Register(Component{
+		Name:        "solver",
+		MaxRestarts: 3,
+		Body: func(ctx Ctx) error {
+			attempts = append(attempts, ctx.Attempt)
+			step := 0
+			if v, ok := ctx.Ckpt.Load("step"); ok {
+				step = v.(int)
+			}
+			resumedFrom = append(resumedFrom, step)
+			for ; step < 10; step++ {
+				ctx.Ckpt.Save("step", step)
+				if step == 4 && ctx.Attempt == 0 {
+					return Restartable(errors.New("node crash"))
+				}
+				if step == 7 && ctx.Attempt == 1 {
+					return Restartable(errors.New("node crash"))
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Launch(context.Background()); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if want := []int{0, 1, 2}; fmt.Sprint(attempts) != fmt.Sprint(want) {
+		t.Fatalf("attempts = %v, want %v", attempts, want)
+	}
+	if want := []int{0, 4, 7}; fmt.Sprint(resumedFrom) != fmt.Sprint(want) {
+		t.Fatalf("resumed from %v, want %v", resumedFrom, want)
+	}
+}
+
+// TestRestartBudgetExhausted: when every attempt fails restartably the
+// workflow fails with the last error once MaxRestarts is spent.
+func TestRestartBudgetExhausted(t *testing.T) {
+	w := New("wf")
+	runs := 0
+	_ = w.Register(Component{
+		Name:        "flaky",
+		MaxRestarts: 2,
+		Body: func(ctx Ctx) error {
+			runs++
+			return Restartable(errors.New("still broken"))
+		},
+	})
+	err := w.Launch(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "still broken") {
+		t.Fatalf("Launch = %v, want the final restartable error", err)
+	}
+	if runs != 3 {
+		t.Fatalf("body ran %d times, want 3 (initial + 2 restarts)", runs)
+	}
+	if !IsRestartable(err) {
+		t.Fatal("the surfaced error should still unwrap as restartable")
+	}
+}
+
+// TestNonRestartableErrorNotRetried: plain errors fail immediately even
+// with restart budget available.
+func TestNonRestartableErrorNotRetried(t *testing.T) {
+	w := New("wf")
+	runs := 0
+	_ = w.Register(Component{
+		Name:        "fatal",
+		MaxRestarts: 5,
+		Body: func(ctx Ctx) error {
+			runs++
+			return errors.New("hard failure")
+		},
+	})
+	if err := w.Launch(context.Background()); err == nil {
+		t.Fatal("Launch should fail")
+	}
+	if runs != 1 {
+		t.Fatalf("body ran %d times, want 1", runs)
+	}
+}
+
+// TestRestartableHelpers covers the marker API edge cases.
+func TestRestartableHelpers(t *testing.T) {
+	if Restartable(nil) != nil {
+		t.Fatal("Restartable(nil) should be nil")
+	}
+	base := errors.New("x")
+	wrapped := fmt.Errorf("context: %w", Restartable(base))
+	if !IsRestartable(wrapped) {
+		t.Fatal("IsRestartable should see through wrapping")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Fatal("Restartable should preserve the error chain")
+	}
+	if IsRestartable(base) {
+		t.Fatal("unwrapped error is not restartable")
+	}
+}
+
+// TestCrashMidAllReduceTearsDownClockBridge injects a hard crash into
+// one rank while its siblings are parked inside an AllReduce with their
+// barrier slots released through the mpi clock bridge — the teardown
+// path a node failure exercises in a virtual-clock run. The workflow
+// must surface the failure (no deadlock: the killed world unblocks the
+// parked collective waiters) and the crash must not be retried. Run
+// under -race in CI, this also checks the bridge's join/leave
+// accounting races cleanly with the kill broadcast.
+func TestCrashMidAllReduceTearsDownClockBridge(t *testing.T) {
+	v := clock.NewVirtual()
+	w := New("wf", WithClock(v))
+	const ranks = 4
+	var mu sync.Mutex
+	runs := 0
+	_ = w.Register(Component{
+		Name:        "train",
+		Type:        Remote,
+		Ranks:       ranks,
+		MaxRestarts: 2, // must not apply: panics are not restartable
+		Body: func(ctx Ctx) error {
+			mu.Lock()
+			runs++
+			mu.Unlock()
+			ctx.Clock.Sleep(5)
+			if ctx.Comm.Rank() == 1 {
+				// Let the other ranks reach the collective and park
+				// (leaving the clock barrier through the bridge), then
+				// die without ever depositing.
+				ctx.Clock.Sleep(20)
+				panic("node 1 hardware failure")
+			}
+			buf := []float64{1}
+			ctx.Clock.Block(func() {
+				ctx.Comm.AllReduce(mpi.Sum, buf)
+			})
+			return nil
+		},
+	})
+	err := w.Launch(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "node 1 hardware failure") {
+		t.Fatalf("Launch = %v, want the injected crash", err)
+	}
+	if runs != ranks {
+		t.Fatalf("bodies ran %d times, want %d (no restart after a panic)", runs, ranks)
+	}
+}
+
+// TestRemoteRankRestartsUnderVirtualClock: one rank of a remote
+// component fails restartably and re-enters the collectives its
+// siblings are parked in; the workflow completes deterministically on
+// the virtual clock.
+func TestRemoteRankRestartsUnderVirtualClock(t *testing.T) {
+	v := clock.NewVirtual()
+	w := New("wf", WithClock(v))
+	const ranks = 4
+	var mu sync.Mutex
+	restarts := 0
+	_ = w.Register(Component{
+		Name:        "train",
+		Type:        Remote,
+		Ranks:       ranks,
+		MaxRestarts: 1,
+		Body: func(ctx Ctx) error {
+			key := fmt.Sprintf("rank%d", ctx.Comm.Rank())
+			start := 0
+			if vv, ok := ctx.Ckpt.Load(key); ok {
+				start = vv.(int)
+			}
+			for i := start; i < 3; i++ {
+				ctx.Clock.Sleep(10)
+				if ctx.Comm.Rank() == 2 && i == 1 && ctx.Attempt == 0 {
+					mu.Lock()
+					restarts++
+					mu.Unlock()
+					return Restartable(errors.New("rank 2 lost"))
+				}
+				buf := []float64{float64(i)}
+				ctx.Clock.Block(func() {
+					ctx.Comm.AllReduce(mpi.Sum, buf)
+				})
+				if buf[0] != float64(i*ranks) {
+					return fmt.Errorf("allreduce = %v at iter %d", buf[0], i)
+				}
+				ctx.Ckpt.Save(key, i+1)
+			}
+			return nil
+		},
+	})
+	if err := w.Launch(context.Background()); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if restarts != 1 {
+		t.Fatalf("rank restarted %d times, want 1", restarts)
+	}
+}

@@ -63,6 +63,70 @@ type Ctx struct {
 	// must not Join or Leave, but must wrap waits on sibling components
 	// that bypass the datastore/MPI layers in Clock.Block.
 	Clock clock.Clock
+	// Attempt counts restarts of this body: 0 on the first run,
+	// incremented each time a Restartable error relaunches it (see
+	// Component.MaxRestarts).
+	Attempt int
+	// Ckpt is the component's checkpoint store: state a body Saves here
+	// survives a restart, so attempt n+1 resumes from the last
+	// checkpoint instead of from scratch. Shared by all ranks of a
+	// remote component (key by rank).
+	Ckpt *Checkpoint
+}
+
+// Checkpoint is a component's in-memory checkpoint store: the
+// restart-recovery analogue of the staged checkpoints the simulated
+// campaigns write through internal/costmodel. Safe for concurrent use
+// by the ranks of a remote component.
+type Checkpoint struct {
+	mu   sync.Mutex
+	vals map[string]any
+}
+
+// NewCheckpoint returns an empty checkpoint store. Launch creates one
+// per component automatically; tests and external harnesses may build
+// their own.
+func NewCheckpoint() *Checkpoint { return &Checkpoint{vals: make(map[string]any)} }
+
+// Save stores v under key, replacing any previous checkpoint.
+func (c *Checkpoint) Save(key string, v any) {
+	c.mu.Lock()
+	c.vals[key] = v
+	c.mu.Unlock()
+}
+
+// Load returns the last value saved under key.
+func (c *Checkpoint) Load(key string) (any, bool) {
+	c.mu.Lock()
+	v, ok := c.vals[key]
+	c.mu.Unlock()
+	return v, ok
+}
+
+// restartableError marks an error as recoverable by restarting the
+// component from its last checkpoint.
+type restartableError struct{ err error }
+
+func (e *restartableError) Error() string { return "restartable: " + e.err.Error() }
+func (e *restartableError) Unwrap() error { return e.err }
+
+// Restartable wraps err to mark the failure as recoverable: Launch
+// re-runs the failing body (up to Component.MaxRestarts times) with the
+// same Checkpoint and an incremented Attempt instead of failing the
+// workflow. Wrapping nil returns nil.
+func Restartable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &restartableError{err: err}
+}
+
+// IsRestartable reports whether err (or anything it wraps) was marked
+// by Restartable. Panics are never restartable: a panicking body has
+// unknown state, and restarting it would mask the bug.
+func IsRestartable(err error) bool {
+	var re *restartableError
+	return errors.As(err, &re)
 }
 
 // Body is a component implementation. For remote components the body
@@ -76,6 +140,11 @@ type Component struct {
 	Ranks int // ranks for Remote (default 1)
 	Deps  []string
 	Body  Body
+	// MaxRestarts bounds how many times a body returning a Restartable
+	// error is re-run from its last checkpoint (0 = never restart). For
+	// remote components each rank restarts independently, re-entering
+	// the collectives its siblings are still parked in.
+	MaxRestarts int
 }
 
 // Option customizes a Workflow at construction.
@@ -387,9 +456,25 @@ func (w *Workflow) Launch(ctx context.Context) error {
 	return firstErr
 }
 
+// runBody executes a component body with restart-from-checkpoint
+// semantics: a Restartable error re-runs the body with the same
+// Checkpoint and an incremented Attempt, up to MaxRestarts times. The
+// barrier slot is retired only after the final attempt, so a
+// restarting rank never lets virtual time slip while it relaunches.
+func (w *Workflow) runBody(ctx context.Context, c *Component, comm *mpi.Comm, ckpt *Checkpoint) error {
+	for attempt := 0; ; attempt++ {
+		err := c.Body(Ctx{Context: ctx, Comm: comm, Component: c.Name, Clock: w.clk,
+			Attempt: attempt, Ckpt: ckpt})
+		if err == nil || !IsRestartable(err) || attempt >= c.MaxRestarts || ctx.Err() != nil {
+			return err
+		}
+	}
+}
+
 // runComponent executes one component body on its launch vehicle,
 // retiring barrier slots rank by rank as bodies return.
 func (w *Workflow) runComponent(ctx context.Context, c *Component, plan *joinPlan) error {
+	ckpt := NewCheckpoint()
 	switch c.Type {
 	case Local:
 		var err error
@@ -400,7 +485,7 @@ func (w *Workflow) runComponent(ctx context.Context, c *Component, plan *joinPla
 				}
 				plan.rankDone(c, w.components, err)
 			}()
-			err = c.Body(Ctx{Context: ctx, Component: c.Name, Clock: w.clk})
+			err = w.runBody(ctx, c, nil, ckpt)
 		}()
 		return err
 	case Remote:
@@ -425,7 +510,7 @@ func (w *Workflow) runComponent(ctx context.Context, c *Component, plan *joinPla
 					}
 					plan.rankDone(c, w.components, e)
 				}()
-				e = c.Body(Ctx{Context: ctx, Comm: comm, Component: c.Name, Clock: w.clk})
+				e = w.runBody(ctx, c, comm, ckpt)
 				if e != nil {
 					mu.Lock()
 					if rankErr == nil {
