@@ -298,3 +298,34 @@ func BenchmarkStreaming(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkGuardrails prices the run guardrails on a healthy sweep
+// cell: one Fig 3 point (node-local, 8 MB, 8 nodes) with the DES event
+// budget disarmed versus armed with a generous limit. An armed guard
+// costs one branch per executed event and nothing else — the guard=on
+// vs guard=off delta recorded in BENCH_DES.json is the zero-cost
+// evidence, alongside the byte-identical-output tests
+// (TestGuardrailsZeroCostOnHealthyRuns).
+func BenchmarkGuardrails(b *testing.B) {
+	cfg := experiments.Pattern1Config{
+		Nodes: 8, Backend: datastore.NodeLocal, SizeMB: 8, TrainIters: 300,
+	}
+	for _, guarded := range []bool{false, true} {
+		name, c := "guard=off", cfg
+		if guarded {
+			name = "guard=on"
+			c.MaxEvents = 1 << 40
+		}
+		b.Run(name, func(b *testing.B) {
+			var pt experiments.Pattern1Point
+			for i := 0; i < b.N; i++ {
+				var err error
+				pt, err = experiments.RunPattern1Checked(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pt.WriteGBps, "write-GBps")
+		})
+	}
+}

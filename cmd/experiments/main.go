@@ -17,8 +17,14 @@
 // and complete at DES speed with bit-reproducible output; -clock wall
 // restores the genuine time-compressed real-time emulation. The scale
 // scenarios run on the simulated Aurora cluster either way. Progress
-// goes to stderr so -format json|csv output stays parseable. See
-// EXPERIMENTS.md for paper-vs-measured and for how to add a new
+// goes to stderr so -format json|csv output stays parseable.
+//
+// -timeout, -retries and -max-events arm the run guardrails on every
+// sweep cell (per-cell deadline, bounded retry, DES event budget); a
+// failed cell becomes a structured, rendered failure instead of
+// aborting the campaign, and the process exits nonzero so a partial
+// artifact can never pass as complete. See EXPERIMENTS.md for
+// paper-vs-measured, the exit-code contract and how to add a new
 // scenario.
 package main
 
@@ -39,19 +45,36 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id or group (see -list)")
-	list := flag.Bool("list", false, "list registered scenarios and groups, then exit (-format md emits the EXPERIMENTS.md table)")
-	format := flag.String("format", "text", "output format: text|json|csv (with -list: text|md)")
-	out := flag.String("o", "", "write output to FILE (default stdout)")
-	trainIters := flag.Int("train-iters", 2500, "validation training iterations (paper: 5000)")
-	sweepIters := flag.Int("sweep-iters", 600, "simulated training iterations per sweep point")
-	timeScale := flag.Float64("time-scale", 0.01, "wall-clock compression for real-mode validation")
-	clockKind := flag.String("clock", "", "emulation clock for the real-mode scenarios: virtual (default; deterministic, DES speed) or wall (genuine real-time emulation)")
-	tenants := flag.Int("tenants", 0, "max co-scheduled workflows for the scale-out family (0 = scenario default, 16)")
-	mtbf := flag.Float64("mtbf", 0, "per-node MTBF seconds for the resilience family: narrows the sweep to {healthy, MTBF} (0 = full default grid)")
-	ckpt := flag.Float64("ckpt", 0, "checkpoint interval seconds for the resilience family: narrows the sweep to {fail-stop, CKPT} (0 = full default grid)")
-	parallel := flag.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial); results are identical at any setting")
-	flag.Parse()
+	os.Exit(realMain(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is the testable CLI body: it parses args, runs the selected
+// scenarios and returns the process exit code. Exit 0 means every cell of
+// every scenario completed; a run whose guardrails caught failed cells
+// still writes its (partial) artifacts but exits nonzero with a per-cell
+// summary on stderr, so scripted campaigns cannot mistake a partial
+// result for a complete one. Exit 2 is flag-parse failure.
+func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment id or group (see -list)")
+	list := fs.Bool("list", false, "list registered scenarios and groups, then exit (-format md emits the EXPERIMENTS.md table)")
+	format := fs.String("format", "text", "output format: text|json|csv (with -list: text|md)")
+	out := fs.String("o", "", "write output to FILE (default stdout)")
+	trainIters := fs.Int("train-iters", 2500, "validation training iterations (paper: 5000)")
+	sweepIters := fs.Int("sweep-iters", 600, "simulated training iterations per sweep point")
+	timeScale := fs.Float64("time-scale", 0.01, "wall-clock compression for real-mode validation")
+	clockKind := fs.String("clock", "", "emulation clock for the real-mode scenarios: virtual (default; deterministic, DES speed) or wall (genuine real-time emulation)")
+	tenants := fs.Int("tenants", 0, "max co-scheduled workflows for the scale-out family (0 = scenario default, 16)")
+	mtbf := fs.Float64("mtbf", 0, "per-node MTBF seconds for the resilience family: narrows the sweep to {healthy, MTBF} (0 = full default grid)")
+	ckpt := fs.Float64("ckpt", 0, "checkpoint interval seconds for the resilience family: narrows the sweep to {fail-stop, CKPT} (0 = full default grid)")
+	parallel := fs.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial); results are identical at any setting")
+	timeout := fs.Float64("timeout", 0, "per-sweep-cell wall-clock deadline in seconds (0 = none); a wedged cell is abandoned with a structured failure instead of hanging the run")
+	retries := fs.Int("retries", 0, "extra attempts per sweep cell on retryable failures (0 = fail on first error)")
+	maxEvents := fs.Int64("max-events", 0, "DES event budget per simulated sweep cell (0 = unlimited); a runaway cell aborts with a structured budget error")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	sweep.Workers = *parallel
 	if *list {
@@ -66,18 +89,18 @@ func main() {
 		case "text":
 			printList(&buf)
 		default:
-			fmt.Fprintf(os.Stderr, "experiments: unknown -list format %q (valid: text, md)\n", *format)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "experiments: unknown -list format %q (valid: text, md)\n", *format)
+			return 1
 		}
-		if err := writeOut(*out, buf.Bytes()); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+		if err := writeOut(*out, stdout, buf.Bytes()); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 	if _, err := clock.FromKind(*clockKind); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
 	}
 	params := scenario.Params{
 		TrainIters:   *trainIters,
@@ -87,11 +110,20 @@ func main() {
 		Clock:        *clockKind,
 		MTBF:         *mtbf,
 		CkptInterval: *ckpt,
+		TimeoutS:     *timeout,
+		Retries:      *retries,
+		MaxEvents:    *maxEvents,
 	}
-	if err := run(*exp, *format, *out, params); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	failedCells, err := run(ctx, *exp, *format, *out, params, stdout, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
 	}
+	if failedCells > 0 {
+		fmt.Fprintf(stderr, "experiments: %d sweep cell(s) failed; partial results were written\n", failedCells)
+		return 1
+	}
+	return 0
 }
 
 // printList enumerates the registry: every scenario id with its
@@ -137,34 +169,39 @@ func scenarioTableMD() string {
 	return b.String()
 }
 
-// writeOut writes data to path, or stdout when path is empty, reporting
-// any write error.
-func writeOut(path string, data []byte) error {
+// writeOut writes data to path, or to stdout when path is empty,
+// reporting any write error.
+func writeOut(path string, stdout io.Writer, data []byte) error {
 	if path == "" {
-		_, err := os.Stdout.Write(data)
+		_, err := stdout.Write(data)
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
 }
 
-func run(exp, format, outPath string, params scenario.Params) error {
+// run executes the resolved scenarios and reports them. It returns the
+// number of sweep cells the guardrails caught failing (the scenarios
+// still completed around them — their partial artifacts are written) and
+// the first hard error, if any.
+func run(ctx context.Context, exp, format, outPath string, params scenario.Params,
+	stdout, stderr io.Writer) (failedCells int, _ error) {
 	scenarios, err := scenario.Resolve(exp)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	reporter, err := scenario.NewReporter(format)
 	if err != nil {
-		return err
+		return 0, err
 	}
 
 	// Open the output first so a bad -o path fails before minutes of
 	// sweeps, not after.
-	w := io.Writer(os.Stdout)
+	w := stdout
 	var outFile *os.File
 	if outPath != "" {
 		f, err := os.Create(outPath)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		outFile = f
 		w = f
@@ -173,21 +210,21 @@ func run(exp, format, outPath string, params scenario.Params) error {
 	// Ctrl-C cancels the in-flight scenario instead of killing the
 	// process mid-write; stop() restores default signal handling as soon
 	// as the first interrupt lands, so a second Ctrl-C kills outright.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt)
 	defer stop()
 	go func() {
-		<-ctx.Done()
+		<-sigCtx.Done()
 		stop()
 	}()
 
 	// Scenarios sharing this run share one validation measurement per
 	// configuration (table2/table3/fig2 in -exp all).
-	ctx = experiments.WithValidationCache(ctx)
+	ctx = experiments.WithValidationCache(sigCtx)
 
 	var results []*scenario.Result
 	var runErr error
 	for _, s := range scenarios {
-		fmt.Fprintf(os.Stderr, "running %s (%s)...\n", s.Name(), s.Description())
+		fmt.Fprintf(stderr, "running %s (%s)...\n", s.Name(), s.Description())
 		res, err := s.Run(ctx, params)
 		if err != nil {
 			runErr = fmt.Errorf("%s: %w", s.Name(), err)
@@ -198,15 +235,25 @@ func run(exp, format, outPath string, params scenario.Params) error {
 
 	// Report whatever completed even when a later scenario failed or was
 	// cancelled: minutes of finished sweeps should never be discarded.
+	// Cells that failed under the guardrails are summarized on stderr in
+	// addition to the reporter's own rendering, so the diagnosis survives
+	// even when -o sends the artifacts to a file.
 	if len(results) > 0 {
 		if err := reporter.Report(w, results); err != nil {
 			if runErr == nil {
 				runErr = err
 			}
-			return runErr
+			return failedCells, runErr
 		}
 		if runErr != nil {
-			fmt.Fprintln(os.Stderr, "experiments: reported partial results:", runErr)
+			fmt.Fprintln(stderr, "experiments: reported partial results:", runErr)
+		}
+		for _, res := range results {
+			for _, f := range res.Failures {
+				fmt.Fprintf(stderr, "experiments: %s: %s[%d] failed after %d attempt(s): %s\n",
+					res.Scenario, f.Sweep, f.Cell, f.Attempts, f.Error)
+				failedCells++
+			}
 		}
 	}
 	if outFile != nil {
@@ -214,5 +261,5 @@ func run(exp, format, outPath string, params scenario.Params) error {
 			runErr = err
 		}
 	}
-	return runErr
+	return failedCells, runErr
 }

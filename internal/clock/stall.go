@@ -1,0 +1,122 @@
+package clock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrStalled is the sentinel wrapped by every StallError, so callers can
+// classify stalls with errors.Is without caring about the diagnosis
+// payload.
+var ErrStalled = errors.New("clock: virtual time stalled")
+
+// StallError diagnoses a wedged Virtual clock: the barrier cannot
+// release because some joined participant is blocked outside Sleep
+// (an un-Block'ed channel wait, a mis-joined collective), so the parked
+// sleepers — and virtual time — can never advance. It reports the
+// participant accounting a deadlocked process cannot.
+type StallError struct {
+	// Joined is the number of registered participants at detection time.
+	Joined int
+	// Sleepers is how many of them were parked in Sleep — fewer than
+	// Joined, or the barrier would have advanced.
+	Sleepers int
+	// Timers is the number of pending After timers that can never fire.
+	Timers int
+	// NowNS is the virtual offset (nanoseconds) time is frozen at.
+	NowNS int64
+	// Idle is how long the clock made no progress on the wall clock
+	// before the watchdog declared the stall.
+	Idle time.Duration
+}
+
+// Error renders the stall diagnosis.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("%v: no progress for %v with %d of %d joined participants parked in Sleep (%d pending timers, virtual offset %v) — a participant is blocked outside Sleep without Block, so the barrier can never release",
+		ErrStalled, e.Idle, e.Sleepers, e.Joined, e.Timers, time.Duration(e.NowNS))
+}
+
+// Unwrap ties StallError to the ErrStalled sentinel.
+func (e *StallError) Unwrap() error { return ErrStalled }
+
+// Snapshot returns the barrier accounting — joined participants, parked
+// sleepers, pending timers — for diagnostics and watchdogs.
+func (v *Virtual) Snapshot() (joined, sleepers, timers int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.joined, len(v.sleepers), len(v.timers)
+}
+
+// vclockState is one watchdog sample of the barrier; any field changing
+// between samples counts as progress.
+type vclockState struct {
+	nowNS            int64
+	seq              uint64
+	joined, sleepers int
+	timers           int
+}
+
+// sample reads the progress-relevant state under the lock.
+func (v *Virtual) sample() vclockState {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return vclockState{nowNS: v.nowNS, seq: v.seq, joined: v.joined,
+		sleepers: len(v.sleepers), timers: len(v.timers)}
+}
+
+// Watchdog starts an optional wall-clock monitor over the barrier: if
+// the clock makes no progress (no advance, no new sleeper or timer, no
+// Join/Leave) for at least patience while at least one sleeper is
+// parked, onStall is invoked with a StallError instead of the process
+// deadlocking silently. A parked sleeper is the tell: participants doing
+// long real compute keep no sleepers parked past their own Sleep, so
+// frozen state with sleepers waiting means the barrier is wedged.
+//
+// onStall runs on the watchdog goroutine and fires once per stall
+// episode (it re-arms after the next progress). Choose patience well
+// above the longest real compute one participant performs between
+// sleeps. The returned stop function releases the watchdog; it is
+// idempotent and safe to call with the clock in any state.
+func (v *Virtual) Watchdog(patience time.Duration, onStall func(*StallError)) (stop func()) {
+	if patience <= 0 {
+		patience = time.Second
+	}
+	poll := patience / 4
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(poll)
+		defer tick.Stop()
+		last := v.sample()
+		lastProgress := time.Now()
+		fired := false
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			cur := v.sample()
+			if cur != last {
+				last = cur
+				lastProgress = time.Now()
+				fired = false
+				continue
+			}
+			if fired || cur.sleepers == 0 {
+				continue // already reported, or nobody is waiting on time
+			}
+			if idle := time.Since(lastProgress); idle >= patience {
+				fired = true
+				onStall(&StallError{Joined: cur.joined, Sleepers: cur.sleepers,
+					Timers: cur.timers, NowNS: cur.nowNS, Idle: idle})
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

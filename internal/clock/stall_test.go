@@ -1,0 +1,119 @@
+package clock
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A participant blocked outside Sleep without Block wedges the barrier;
+// the watchdog must report a diagnosable StallError with the
+// participant/sleeper accounting instead of deadlocking forever.
+func TestWatchdogDetectsBarrierStall(t *testing.T) {
+	v := NewVirtual()
+	stalled := make(chan *StallError, 1)
+	stop := v.Watchdog(30*time.Millisecond, func(e *StallError) { stalled <- e })
+	defer stop()
+
+	v.Join() // participant A: this goroutine
+	v.Join() // participant B: the sleeper below
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(time.Second) // parks; barrier waits for A, which never sleeps
+		close(done)
+	}()
+
+	// A now waits on a channel WITHOUT Block — the exact bug class the
+	// watchdog exists for.
+	var e *StallError
+	select {
+	case e = <-stalled:
+	case <-done:
+		t.Fatal("sleeper woke while a joined participant was still running")
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired on a wedged barrier")
+	}
+
+	if !errors.Is(e, ErrStalled) {
+		t.Fatalf("errors.Is(e, ErrStalled) = false for %v", e)
+	}
+	if e.Joined != 2 || e.Sleepers != 1 {
+		t.Fatalf("diagnosis = %d joined / %d sleepers, want 2 / 1", e.Joined, e.Sleepers)
+	}
+	if !strings.Contains(e.Error(), "1 of 2 joined participants") {
+		t.Fatalf("undiagnosable message: %q", e)
+	}
+
+	// Recovery: A abandons the barrier; B's sleep must now drain.
+	v.Leave()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sleeper did not drain after the wedged participant left")
+	}
+	v.Leave()
+}
+
+// A healthy sleep/advance loop must never trip the watchdog, and stop
+// must be idempotent.
+func TestWatchdogQuietOnHealthyClock(t *testing.T) {
+	v := NewVirtual()
+	var fired int32
+	stop := v.Watchdog(50*time.Millisecond, func(*StallError) { fired++ })
+	v.Join()
+	for i := 0; i < 100; i++ {
+		v.Sleep(time.Millisecond)
+	}
+	v.Leave()
+	stop()
+	stop() // idempotent
+	if fired != 0 {
+		t.Fatalf("watchdog fired %d times on a healthy clock", fired)
+	}
+}
+
+// Snapshot exposes the barrier accounting.
+func TestSnapshot(t *testing.T) {
+	v := NewVirtual()
+	v.Join()
+	v.Join()
+	_ = v.After(time.Second)
+	done := make(chan struct{})
+	go func() { v.Sleep(time.Second); close(done) }()
+	// Wait (real time) for the sleeper to park.
+	for i := 0; ; i++ {
+		if _, sleepers, _ := v.Snapshot(); sleepers == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("sleeper never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	joined, sleepers, timers := v.Snapshot()
+	if joined != 2 || sleepers != 1 || timers != 1 {
+		t.Fatalf("Snapshot() = (%d, %d, %d), want (2, 1, 1)", joined, sleepers, timers)
+	}
+	v.Leave() // barrier releases: 1 sleeper >= 1 joined
+	<-done
+	v.Leave()
+}
+
+// An unmatched Leave must panic loudly instead of silently corrupting
+// the barrier condition with a negative participant count.
+func TestLeaveUnderflowPanics(t *testing.T) {
+	v := NewVirtual()
+	v.Join()
+	v.Leave()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("unbalanced Leave did not panic")
+		}
+		if !strings.Contains(r.(string), "without a matching Join") {
+			t.Fatalf("panic message undiagnosable: %v", r)
+		}
+	}()
+	v.Leave()
+}

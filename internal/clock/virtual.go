@@ -86,10 +86,18 @@ func (v *Virtual) Join() {
 }
 
 // Leave deregisters one participant and releases the barrier if the
-// rest are all asleep.
+// rest are all asleep. An unmatched Leave panics: letting the count go
+// negative would silently corrupt advanceLocked's barrier condition
+// (len(sleepers) >= joined), waking sleepers while participants still
+// run and destroying determinism far from the buggy call site.
 func (v *Virtual) Leave() {
 	v.mu.Lock()
 	v.joined--
+	if v.joined < 0 {
+		v.joined = 0
+		v.mu.Unlock()
+		panic("clock: Virtual.Leave without a matching Join — participant underflow would corrupt the time barrier")
+	}
 	v.advanceLocked()
 	v.mu.Unlock()
 }

@@ -71,6 +71,13 @@ type Env struct {
 	procs   int // live (spawned, unfinished) processes
 	live    []*Proc
 	stopped bool
+
+	// Run guardrails (see guard.go). guarded mirrors guard.enabled() so
+	// the healthy hot path pays one predictable branch per event.
+	guard    Guard
+	guarded  bool
+	executed int64
+	guardErr error
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -178,6 +185,10 @@ func (e *Env) RunUntil(until float64) float64 {
 		if e.q[0].t > until {
 			break
 		}
+		if e.guarded && e.checkGuard(e.q[0].t) {
+			break
+		}
+		e.executed++
 		ev := e.pop()
 		e.now = ev.t
 		switch ev.kind {

@@ -1,0 +1,84 @@
+package des
+
+import "fmt"
+
+// Guard bounds one environment's execution: an executed-event budget and
+// a virtual-time horizon that convert a runaway simulation (a
+// self-perpetuating event loop, a mis-parameterized sweep cell) into a
+// structured BudgetExceeded error instead of an unbounded run. The zero
+// value imposes no limits and costs one predictable branch per event.
+type Guard struct {
+	// MaxEvents caps the number of events RunUntil may execute over the
+	// environment's lifetime (0 = unlimited).
+	MaxEvents int64
+	// HorizonS caps virtual time: executing an event scheduled past this
+	// many seconds aborts the run (0 = no horizon). Unlike RunUntil's
+	// `until` argument — which silently pauses at the boundary — crossing
+	// the guard horizon is an error: it means the workload scheduled work
+	// beyond the time budget it promised to stay within.
+	HorizonS float64
+}
+
+// enabled reports whether any limit is set.
+func (g Guard) enabled() bool { return g.MaxEvents > 0 || g.HorizonS > 0 }
+
+// BudgetExceeded is the structured error recorded on an Env whose Guard
+// tripped. It carries enough to diagnose the runaway: which limit
+// tripped, how far the run got, and the limits in force.
+type BudgetExceeded struct {
+	// Guard is the limit configuration that tripped.
+	Guard Guard
+	// Events is the number of events executed when the run aborted.
+	Events int64
+	// Now is the virtual time (seconds) when the run aborted.
+	Now float64
+	// NextT is the virtual time of the event that would have run next.
+	NextT float64
+	// ByHorizon reports which limit tripped: true for the virtual-time
+	// horizon, false for the event budget.
+	ByHorizon bool
+}
+
+// Error renders the trip diagnosis.
+func (e *BudgetExceeded) Error() string {
+	if e.ByHorizon {
+		return fmt.Sprintf("des: virtual-time horizon exceeded: next event at t=%.6g is past the %.6gs guard horizon (%d events executed, now=%.6g)",
+			e.NextT, e.Guard.HorizonS, e.Events, e.Now)
+	}
+	return fmt.Sprintf("des: event budget exceeded: %d events executed (limit %d) at t=%.6g with work still queued",
+		e.Events, e.Guard.MaxEvents, e.Now)
+}
+
+// SetGuard installs (or, with a zero Guard, removes) execution limits on
+// the environment and clears any previously recorded budget error. Set
+// it before Run/RunUntil; a tripped run stops at the offending event,
+// records the error for Err, and preserves the queue for diagnosis.
+func (e *Env) SetGuard(g Guard) {
+	e.guard = g
+	e.guarded = g.enabled()
+	e.guardErr = nil
+}
+
+// Err returns the BudgetExceeded error recorded by a guarded run that
+// tripped its limits, or nil after a healthy run. Check it after
+// Run/RunUntil on guarded environments: the run-loop return value alone
+// cannot distinguish a drained queue from an aborted one.
+func (e *Env) Err() error { return e.guardErr }
+
+// Executed reports the total number of events executed by this
+// environment across all Run/RunUntil calls.
+func (e *Env) Executed() int64 { return e.executed }
+
+// checkGuard reports whether executing the next queued event (at time
+// nextT) would exceed the guard, recording the budget error if so.
+func (e *Env) checkGuard(nextT float64) bool {
+	if e.guard.MaxEvents > 0 && e.executed >= e.guard.MaxEvents {
+		e.guardErr = &BudgetExceeded{Guard: e.guard, Events: e.executed, Now: e.now, NextT: nextT}
+		return true
+	}
+	if e.guard.HorizonS > 0 && nextT > e.guard.HorizonS {
+		e.guardErr = &BudgetExceeded{Guard: e.guard, Events: e.executed, Now: e.now, NextT: nextT, ByHorizon: true}
+		return true
+	}
+	return false
+}

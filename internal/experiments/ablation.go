@@ -46,6 +46,25 @@ func RunMDSAblation(ctx context.Context, services []float64, trainIters int) ([]
 		})
 }
 
+// runMDSAblationGuarded is the scenario-path variant of RunMDSAblation:
+// the same grid under the run guardrails, with failed cells returned as
+// reportable records instead of aborting the sweep.
+func runMDSAblationGuarded(ctx context.Context, p scenario.Params) ([]MDSAblationPoint, []scenario.CellFailure, error) {
+	return guardedGrid(ctx, p, "ablation/mds", MDSAblationServices, []int{8, 512},
+		func(svc float64, nodes int) (MDSAblationPoint, error) {
+			params := costmodel.Default()
+			params.LustreMDSServiceS = svc
+			pt, err := RunPattern1Checked(Pattern1Config{
+				Nodes: nodes, Backend: datastore.FileSystem, SizeMB: 8,
+				TrainIters: p.SweepIters, MaxEvents: p.MaxEvents, Params: &params,
+			})
+			if err != nil {
+				return MDSAblationPoint{}, err
+			}
+			return MDSAblationPoint{MDSServiceS: svc, Nodes: nodes, WriteMeanS: pt.WriteMean}, nil
+		})
+}
+
 // mdsAblationTable structures the sweep for the reporters.
 func mdsAblationTable(points []MDSAblationPoint) scenario.Table {
 	t := scenario.Table{
@@ -86,6 +105,24 @@ func RunCacheAblation(ctx context.Context, shares []float64, trainIters int) ([]
 				TrainIters: trainIters, Params: &params,
 			})
 			return CacheAblationPoint{CacheShareMB: share, SizeMB: size, WriteGBps: pt.WriteGBps}
+		})
+}
+
+// runCacheAblationGuarded is the scenario-path variant of
+// RunCacheAblation, under the run guardrails.
+func runCacheAblationGuarded(ctx context.Context, p scenario.Params) ([]CacheAblationPoint, []scenario.CellFailure, error) {
+	return guardedGrid(ctx, p, "ablation/cache", CacheAblationShares, Fig3Sizes,
+		func(share, size float64) (CacheAblationPoint, error) {
+			params := costmodel.Default()
+			params.CacheShareMB = share
+			pt, err := RunPattern1Checked(Pattern1Config{
+				Nodes: 8, Backend: datastore.NodeLocal, SizeMB: size,
+				TrainIters: p.SweepIters, MaxEvents: p.MaxEvents, Params: &params,
+			})
+			if err != nil {
+				return CacheAblationPoint{}, err
+			}
+			return CacheAblationPoint{CacheShareMB: share, SizeMB: size, WriteGBps: pt.WriteGBps}, nil
 		})
 }
 
@@ -139,6 +176,34 @@ func RunIncastAblation(ctx context.Context, latencies []float64, trainIters int)
 				IncastLatencyS: lat, SizeMB: size,
 				DragonFetchS: dr.FetchMeanS, FSFetchS: fs.FetchMeanS,
 			}
+		})
+}
+
+// runIncastAblationGuarded is the scenario-path variant of
+// RunIncastAblation, under the run guardrails.
+func runIncastAblationGuarded(ctx context.Context, p scenario.Params) ([]IncastAblationPoint, []scenario.CellFailure, error) {
+	return guardedGrid(ctx, p, "ablation/incast", IncastAblationLatencies, []float64{1, 10, 128},
+		func(lat, size float64) (IncastAblationPoint, error) {
+			params := costmodel.Default()
+			params.DragonIncastLatencyS = lat
+			dr, err := RunFig6Checked(Fig6Config{
+				Nodes: 128, Backend: datastore.Dragon, SizeMB: size,
+				TrainIters: p.SweepIters, MaxEvents: p.MaxEvents, Params: &params,
+			})
+			if err != nil {
+				return IncastAblationPoint{}, err
+			}
+			fs, err := RunFig6Checked(Fig6Config{
+				Nodes: 128, Backend: datastore.FileSystem, SizeMB: size,
+				TrainIters: p.SweepIters, MaxEvents: p.MaxEvents, Params: &params,
+			})
+			if err != nil {
+				return IncastAblationPoint{}, err
+			}
+			return IncastAblationPoint{
+				IncastLatencyS: lat, SizeMB: size,
+				DragonFetchS: dr.FetchMeanS, FSFetchS: fs.FetchMeanS,
+			}, nil
 		})
 }
 

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"simaibench/internal/clock"
+	"simaibench/internal/des"
+	"simaibench/internal/scenario"
+	"simaibench/internal/sweep"
+)
+
+// This file is the saboteur suite: a deliberately misbehaving test-only
+// scenario proves each run guardrail end-to-end — a panicking cell, a
+// cell wedged on a virtual-clock barrier, a cell that blows its DES event
+// budget, and a flaky cell that recovers under retry — all inside one
+// sweep whose healthy cells must still complete and render. It is built
+// with scenario.New but never Registered, so the registry (and the
+// EXPERIMENTS.md table pinned to it) is unchanged.
+
+// saboteurModes enumerate the sweep cells in order.
+var saboteurModes = []string{"ok", "panic", "hang", "budget", "flaky"}
+
+// newSaboteurScenario builds the test-only scenario. flakyAttempts counts
+// the flaky cell's attempts; stalls receives the watchdog's diagnosis of
+// the hung cell.
+func newSaboteurScenario(flakyAttempts *atomic.Int64, stalls chan<- *clock.StallError) scenario.Scenario {
+	return scenario.New("saboteur", "test-only: one misbehaving cell per guardrail",
+		scenario.Params{SweepIters: 50},
+		func(ctx context.Context, p scenario.Params) (*scenario.Result, error) {
+			healthy := Pattern1Config{
+				Nodes: 8, Backend: 0, SizeMB: 2,
+				TrainIters: p.SweepIters, MaxEvents: p.MaxEvents,
+			}
+			points, fails, err := guardedGrid(ctx, p, "saboteur/cells", saboteurModes, []int{0},
+				func(mode string, _ int) (Pattern1Point, error) {
+					switch mode {
+					case "panic":
+						panic("saboteur: deliberate panic")
+					case "hang":
+						// Two participants join the time barrier but only this
+						// goroutine ever sleeps: the barrier can never complete
+						// on its own. The watchdog must diagnose the stall; its
+						// handler releases the phantom participant so the cell
+						// recovers and reports the stall as its failure.
+						v := clock.NewVirtual()
+						v.Join()
+						v.Join() // phantom second participant that never sleeps
+						var stall atomic.Pointer[clock.StallError]
+						stop := v.Watchdog(20*time.Millisecond, func(e *clock.StallError) {
+							stall.Store(e)
+							v.Leave() // release the phantom; the barrier completes
+						})
+						defer stop()
+						v.Sleep(time.Millisecond) // wedges until the watchdog intervenes
+						v.Leave()
+						if e := stall.Load(); e != nil {
+							stalls <- e
+							return Pattern1Point{}, e
+						}
+						return Pattern1Point{}, errors.New("hang cell completed without a stall")
+					case "budget":
+						cfg := healthy
+						cfg.MaxEvents = 50 // far below what the run needs
+						return RunPattern1Checked(cfg)
+					case "flaky":
+						if flakyAttempts.Add(1) == 1 {
+							return Pattern1Point{}, sweep.Retryable(errors.New("saboteur: transient failure"))
+						}
+						return RunPattern1Checked(healthy)
+					default:
+						return RunPattern1Checked(healthy)
+					}
+				})
+			if err != nil {
+				return nil, err
+			}
+			return &scenario.Result{Scenario: "saboteur", Params: p, Failures: fails,
+				Tables: []scenario.Table{fig3Table(8, points)}}, nil
+		})
+}
+
+// One sweep, four sabotages: the panicking, hung and budget-blown cells
+// must each surface as a structured failure with the right diagnosis,
+// the flaky cell must recover under retry, and the healthy cells must
+// complete and render.
+func TestSaboteurScenarioGuardrails(t *testing.T) {
+	var flakyAttempts atomic.Int64
+	stalls := make(chan *clock.StallError, 1)
+	s := newSaboteurScenario(&flakyAttempts, stalls)
+	res, err := s.Run(bg, scenario.Params{TimeoutS: 30, Retries: 1})
+	if err != nil {
+		t.Fatalf("saboteur scenario aborted instead of reporting per-cell failures: %v", err)
+	}
+
+	byCell := map[int]scenario.CellFailure{}
+	for _, f := range res.Failures {
+		if f.Sweep != "saboteur/cells" {
+			t.Errorf("failure has sweep label %q, want saboteur/cells", f.Sweep)
+		}
+		byCell[f.Cell] = f
+	}
+	if len(byCell) != 3 {
+		t.Fatalf("failures = %+v, want exactly cells 1 (panic), 2 (hang), 3 (budget)", res.Failures)
+	}
+	if f := byCell[1]; !strings.Contains(f.Error, "panic: saboteur: deliberate panic") || f.Attempts != 1 {
+		t.Errorf("panic cell failure = %+v", f)
+	}
+	if f := byCell[2]; !strings.Contains(f.Error, "stalled") {
+		t.Errorf("hang cell failure = %+v, want a stall diagnosis", f)
+	}
+	if f := byCell[3]; !strings.Contains(f.Error, "event budget exceeded") {
+		t.Errorf("budget cell failure = %+v, want a budget diagnosis", f)
+	}
+
+	// The watchdog fired with a usable diagnosis of the barrier state.
+	select {
+	case e := <-stalls:
+		if !errors.Is(e, clock.ErrStalled) || e.Joined != 2 || e.Sleepers != 1 {
+			t.Errorf("stall diagnosis = %+v, want 2 joined / 1 sleeper", e)
+		}
+	default:
+		t.Error("the hung cell's watchdog never fired")
+	}
+
+	// The flaky cell recovered on its second attempt; with the healthy
+	// cell that makes two completed rows in the rendered table.
+	if got := flakyAttempts.Load(); got != 2 {
+		t.Errorf("flaky cell made %d attempts, want 2", got)
+	}
+	if rows := len(res.Tables[0].Rows); rows != 2 {
+		t.Errorf("table has %d rows, want the 2 surviving cells", rows)
+	}
+
+	// The failures render explicitly through the text reporter.
+	reporter, _ := scenario.NewReporter("text")
+	var buf bytes.Buffer
+	if err := reporter.Report(&buf, []*scenario.Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"FAILED cells — saboteur (3 of the sweep's cells did not complete)",
+		"saboteur/cells[1] after 1 attempt(s): panic: saboteur: deliberate panic",
+		"event budget exceeded",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// A registered scenario run with an absurdly small event budget must
+// report every cell as a structured budget failure — and still return a
+// renderable (empty-table) result rather than aborting.
+func TestRegisteredScenarioBudgetBlowout(t *testing.T) {
+	s, ok := scenario.Lookup("fig5")
+	if !ok {
+		t.Fatal("fig5 not registered")
+	}
+	res, err := s.Run(bg, scenario.Params{Transfers: 5, MaxEvents: 10})
+	if err != nil {
+		t.Fatalf("budget-starved fig5 aborted instead of reporting failures: %v", err)
+	}
+	wantCells := len(Pattern2Backends) * len(Fig5Sizes)
+	if len(res.Failures) != wantCells {
+		t.Fatalf("%d failures, want all %d cells", len(res.Failures), wantCells)
+	}
+	for _, f := range res.Failures {
+		if !strings.Contains(f.Error, "event budget exceeded") {
+			t.Fatalf("cell %d failed with %q, want a budget diagnosis", f.Cell, f.Error)
+		}
+	}
+	if rows := len(res.Tables[0].Rows); rows != 0 {
+		t.Fatalf("table has %d rows from budget-starved cells", rows)
+	}
+}
+
+// The Checked harness variants surface the budget trip as a structured
+// des.BudgetExceeded for every simulated harness family.
+func TestCheckedHarnessesSurfaceBudget(t *testing.T) {
+	cases := map[string]func() error{
+		"pattern1": func() error {
+			_, err := RunPattern1Checked(Pattern1Config{TrainIters: 50, MaxEvents: 20})
+			return err
+		},
+		"fig5": func() error {
+			_, err := RunFig5Checked(Fig5Config{Transfers: 50, MaxEvents: 3})
+			return err
+		},
+		"fig6": func() error {
+			_, err := RunFig6Checked(Fig6Config{TrainIters: 50, MaxEvents: 20})
+			return err
+		},
+		"scale-out": func() error {
+			_, err := RunScaleOutChecked(ScaleOutConfig{TrainIters: 50, MaxEvents: 20})
+			return err
+		},
+		"resilience": func() error {
+			_, err := RunResilienceChecked(ResilienceConfig{TrainIters: 50, MaxEvents: 20})
+			return err
+		},
+	}
+	for name, run := range cases {
+		err := run()
+		var be *des.BudgetExceeded
+		if !errors.As(err, &be) {
+			t.Errorf("%s: error = %v, want des.BudgetExceeded", name, err)
+		}
+	}
+}
+
+// The zero-cost contract, end to end: enabling every guardrail with
+// generous limits must leave scenario output byte-identical to a run
+// with no guardrails at all.
+func TestGuardrailsZeroCostOnHealthyRuns(t *testing.T) {
+	generous := scenario.Params{TimeoutS: 600, Retries: 2, MaxEvents: 1 << 40}
+	cases := []struct {
+		name string
+		p    scenario.Params
+	}{
+		{"fig3", scenario.Params{SweepIters: 60}},
+		{"fig5", scenario.Params{Transfers: 5}},
+		{"scale-out", scenario.Params{SweepIters: 60, Tenants: 2}},
+	}
+	for _, tc := range cases {
+		plain := renderText(t, tc.name, tc.p)
+		guarded := tc.p
+		guarded.TimeoutS, guarded.Retries, guarded.MaxEvents = generous.TimeoutS, generous.Retries, generous.MaxEvents
+		withRails := renderText(t, tc.name, guarded)
+		if !bytes.Equal(plain, withRails) {
+			t.Errorf("%s: output differs with guardrails enabled\n--- plain ---\n%s\n--- guarded ---\n%s",
+				tc.name, plain, withRails)
+		}
+	}
+}

@@ -18,7 +18,6 @@ import (
 	"simaibench/internal/cluster"
 	"simaibench/internal/costmodel"
 	"simaibench/internal/datastore"
-	"simaibench/internal/des"
 	"simaibench/internal/scenario"
 	"simaibench/internal/stats"
 	"simaibench/internal/sweep"
@@ -43,6 +42,9 @@ type Pattern1Config struct {
 	// TrainIters: training iterations to simulate (>=2500 in the paper;
 	// smaller values preserve the steady-state statistics).
 	TrainIters int
+	// MaxEvents caps the DES events the run may execute (0 = unlimited);
+	// RunPattern1Checked surfaces the budget trip as an error.
+	MaxEvents int64
 	// Params overrides the cost-model constants (zero value = Default).
 	Params *costmodel.Params
 }
@@ -92,10 +94,19 @@ type Pattern1Point struct {
 // Ranks run as flat callback state machines (see flat.go), so a 512-node
 // point costs no goroutines and no steady-state allocations.
 func RunPattern1(cfg Pattern1Config) Pattern1Point {
+	pt, _ := RunPattern1Checked(cfg)
+	return pt
+}
+
+// RunPattern1Checked is RunPattern1 under the run guardrails: with
+// cfg.MaxEvents set, a runaway simulation aborts with the structured
+// des.BudgetExceeded error instead of looping forever. With no budget it
+// never fails.
+func RunPattern1Checked(cfg Pattern1Config) (Pattern1Point, error) {
 	cfg = cfg.withDefaults()
 	spec := cluster.Aurora(cfg.Nodes)
 	place := cluster.Pattern1Placement(spec)
-	env := des.NewEnv()
+	env := newGuardedEnv(cfg.MaxEvents)
 	params := costmodel.Default()
 	if cfg.Params != nil {
 		params = *cfg.Params
@@ -141,6 +152,10 @@ func RunPattern1(cfg Pattern1Config) Pattern1Point {
 		}
 	}
 	env.RunUntil(horizon * 1.5)
+	if err := env.Err(); err != nil {
+		return Pattern1Point{}, fmt.Errorf("pattern1 (%s, %g MB, %d nodes): %w",
+			cfg.Backend, cfg.SizeMB, cfg.Nodes, err)
+	}
 
 	return Pattern1Point{
 		Nodes:     cfg.Nodes,
@@ -154,7 +169,7 @@ func RunPattern1(cfg Pattern1Config) Pattern1Point {
 		TrainIter: cfg.TrainIterS,
 		Writes:    writeTime.N(),
 		Reads:     readTime.N(),
-	}
+	}, nil
 }
 
 // Fig3Sizes are the paper's message sizes for Pattern 1.

@@ -8,7 +8,6 @@ import (
 	"simaibench/internal/cluster"
 	"simaibench/internal/costmodel"
 	"simaibench/internal/datastore"
-	"simaibench/internal/des"
 	"simaibench/internal/scenario"
 	"simaibench/internal/stats"
 	"simaibench/internal/sweep"
@@ -27,6 +26,9 @@ type Fig5Config struct {
 	SizeMB  float64
 	// Transfers: how many write/read pairs to sample.
 	Transfers int
+	// MaxEvents caps the DES events the run may execute (0 = unlimited);
+	// RunFig5Checked surfaces the budget trip as an error.
+	MaxEvents int64
 	Params    *costmodel.Params
 }
 
@@ -41,11 +43,19 @@ type Fig5Point struct {
 
 // RunFig5 measures the 2-node local-write / non-local-read pattern.
 func RunFig5(cfg Fig5Config) Fig5Point {
+	pt, _ := RunFig5Checked(cfg)
+	return pt
+}
+
+// RunFig5Checked is RunFig5 under the run guardrails: with cfg.MaxEvents
+// set, a runaway simulation aborts with the structured des.BudgetExceeded
+// error. With no budget it never fails.
+func RunFig5Checked(cfg Fig5Config) (Fig5Point, error) {
 	if cfg.Transfers == 0 {
 		cfg.Transfers = 50
 	}
 	spec := cluster.Aurora(2)
-	env := des.NewEnv()
+	env := newGuardedEnv(cfg.MaxEvents)
 	params := costmodel.Default()
 	if cfg.Params != nil {
 		params = *cfg.Params
@@ -58,12 +68,15 @@ func RunFig5(cfg Fig5Config) Fig5Point {
 	var writeTput, readTput stats.Throughput
 	newFig5Pair(env, model, cfg.Backend, cfg.SizeMB, cfg.Transfers, bytes, &writeTput, &readTput)
 	env.Run()
+	if err := env.Err(); err != nil {
+		return Fig5Point{}, fmt.Errorf("fig5 (%s, %g MB): %w", cfg.Backend, cfg.SizeMB, err)
+	}
 	return Fig5Point{
 		Backend:   cfg.Backend,
 		SizeMB:    cfg.SizeMB,
 		ReadGBps:  readTput.MeanGBps(),
 		WriteGBps: writeTput.MeanGBps(),
-	}
+	}, nil
 }
 
 // Fig5Sizes spans the paper's log-scale x axis (10^0 .. ~10^2 MB).
@@ -117,7 +130,10 @@ type Fig6Config struct {
 	ReadPeriod  int
 	// TrainIters: training iterations to simulate.
 	TrainIters int
-	Params     *costmodel.Params
+	// MaxEvents caps the DES events the run may execute (0 = unlimited);
+	// RunFig6Checked surfaces the budget trip as an error.
+	MaxEvents int64
+	Params    *costmodel.Params
 }
 
 func (c Fig6Config) withDefaults() Fig6Config {
@@ -156,9 +172,17 @@ type Fig6Point struct {
 
 // RunFig6 simulates the many-to-one pattern at scale.
 func RunFig6(cfg Fig6Config) Fig6Point {
+	pt, _ := RunFig6Checked(cfg)
+	return pt
+}
+
+// RunFig6Checked is RunFig6 under the run guardrails: with cfg.MaxEvents
+// set, a runaway simulation aborts with the structured des.BudgetExceeded
+// error. With no budget it never fails.
+func RunFig6Checked(cfg Fig6Config) (Fig6Point, error) {
 	cfg = cfg.withDefaults()
 	spec := cluster.Aurora(cfg.Nodes + 1) // +1 trainer node
-	env := des.NewEnv()
+	env := newGuardedEnv(cfg.MaxEvents)
 	params := costmodel.Default()
 	if cfg.Params != nil {
 		params = *cfg.Params
@@ -192,6 +216,10 @@ func RunFig6(cfg Fig6Config) Fig6Point {
 		fetchTime: &fetchTime, lastPeriodEnd: &lastPeriodEnd, completedPeriods: &completedPeriods,
 	})
 	env.RunUntil(horizon)
+	if err := env.Err(); err != nil {
+		return Fig6Point{}, fmt.Errorf("fig6 (%s, %g MB, %d nodes): %w",
+			cfg.Backend, cfg.SizeMB, cfg.Nodes, err)
+	}
 
 	execPerIter := 0.0
 	if completedPeriods > 0 {
@@ -203,7 +231,7 @@ func RunFig6(cfg Fig6Config) Fig6Point {
 		SizeMB:       cfg.SizeMB,
 		ExecPerIterS: execPerIter,
 		FetchMeanS:   fetchTime.Mean(),
-	}
+	}, nil
 }
 
 // Fig6Sizes spans the paper's per-process data-size axis.

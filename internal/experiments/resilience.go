@@ -77,6 +77,9 @@ type ResilienceConfig struct {
 	// unless both set).
 	OutageMTBS float64
 	OutageDurS float64
+	// MaxEvents caps the DES events the run may execute (0 = unlimited);
+	// RunResilienceChecked surfaces the budget trip as an error.
+	MaxEvents int64
 	// Params overrides the cost-model constants (zero value = Default).
 	Params *costmodel.Params
 }
@@ -573,6 +576,14 @@ func (r *resAIReader) onRepair() {
 // count), so sweeping the checkpoint cadence compares recovery
 // policies against identical disturbances.
 func RunResilience(cfg ResilienceConfig) ResiliencePoint {
+	pt, _ := RunResilienceChecked(cfg)
+	return pt
+}
+
+// RunResilienceChecked is RunResilience under the run guardrails: with
+// cfg.MaxEvents set, a runaway simulation aborts with the structured
+// des.BudgetExceeded error. With no budget it never fails.
+func RunResilienceChecked(cfg ResilienceConfig) (ResiliencePoint, error) {
 	cfg = cfg.withDefaults()
 	spec := cluster.Aurora(cfg.Tenants * cfg.NodesPerTenant)
 	tenants, err := cluster.CoSchedule(spec, cfg.Tenants, cfg.NodesPerTenant)
@@ -581,7 +592,7 @@ func RunResilience(cfg ResilienceConfig) ResiliencePoint {
 		panic(err)
 	}
 	place := cluster.Pattern1Placement(spec)
-	env := des.NewEnv()
+	env := newGuardedEnv(cfg.MaxEvents)
 	params := costmodel.Default()
 	if cfg.Params != nil {
 		params = *cfg.Params
@@ -673,10 +684,15 @@ func RunResilience(cfg ResilienceConfig) ResiliencePoint {
 		}
 	}
 	endT := env.RunUntil(horizon * 1.5)
+	guardErr := env.Err()
 	if endT <= 0 {
 		endT = horizon
 	}
 	env.Shutdown() // drop the injector's pending disturbance events
+	if guardErr != nil {
+		return ResiliencePoint{}, fmt.Errorf("resilience (%s, mtbf %s, ckpt %s): %w",
+			cfg.Backend, mtbfLabel(cfg.MTBFS), ckptLabel(cfg.CkptIntervalS), guardErr)
+	}
 
 	aggGBps := 0.0
 	if writeTime.N() > 0 {
@@ -707,7 +723,7 @@ func RunResilience(cfg ResilienceConfig) ResiliencePoint {
 	if cfg.MTBFS <= 0 {
 		pt.MTBFS = math.Inf(1)
 	}
-	return pt
+	return pt, nil
 }
 
 // ResilienceMTBFs is the default per-node MTBF sweep: healthy, a
@@ -859,17 +875,26 @@ func PrintResilience(w io.Writer, b datastore.Backend, points []ResiliencePoint)
 
 // runResilienceScenario is the registered "resilience" scenario: the
 // MTBF × checkpoint-interval grid for all four backends, one
-// disturbance table per backend plus the optimal-interval summary.
+// disturbance table per backend plus the optimal-interval summary. Each
+// grid runs under the run guardrails: failed cells become
+// Result.Failures while the completed points still render.
 func runResilienceScenario(ctx context.Context, p scenario.Params) (*scenario.Result, error) {
 	res := &scenario.Result{Scenario: "resilience", Params: p}
 	mtbfs := resilienceMTBFs(p.MTBF)
 	ckpts := resilienceCkpts(p.CkptInterval)
 	byBackend := map[datastore.Backend][]ResiliencePoint{}
 	for _, b := range datastore.Backends() {
-		points, err := RunResilienceSweep(ctx, b, mtbfs, ckpts, p.Tenants, p.SweepIters)
+		points, fails, err := guardedGrid(ctx, p, "resilience/"+b.String(), mtbfs, ckpts,
+			func(mtbf, ckpt float64) (ResiliencePoint, error) {
+				return RunResilienceChecked(ResilienceConfig{
+					Tenants: p.Tenants, Backend: b, TrainIters: p.SweepIters,
+					MTBFS: mtbf, CkptIntervalS: ckpt, MaxEvents: p.MaxEvents,
+				})
+			})
 		if err != nil {
 			return nil, err
 		}
+		res.Failures = append(res.Failures, fails...)
 		byBackend[b] = points
 		res.Tables = append(res.Tables, resilienceTable(b, points))
 	}

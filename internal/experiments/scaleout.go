@@ -8,7 +8,6 @@ import (
 	"simaibench/internal/cluster"
 	"simaibench/internal/costmodel"
 	"simaibench/internal/datastore"
-	"simaibench/internal/des"
 	"simaibench/internal/scenario"
 	"simaibench/internal/stats"
 	"simaibench/internal/sweep"
@@ -50,6 +49,9 @@ type ScaleOutConfig struct {
 	ReadPeriod  int
 	// TrainIters: training iterations to simulate per tenant.
 	TrainIters int
+	// MaxEvents caps the DES events the run may execute (0 = unlimited);
+	// RunScaleOutChecked surfaces the budget trip as an error.
+	MaxEvents int64
 	// Params overrides the cost-model constants (zero value = Default).
 	Params *costmodel.Params
 }
@@ -116,6 +118,14 @@ type ScaleOutPoint struct {
 // the Pattern 1 machines of flat.go in shared mode (shared: true), so
 // single- and multi-tenant runs share one state-machine implementation.
 func RunScaleOut(cfg ScaleOutConfig) ScaleOutPoint {
+	pt, _ := RunScaleOutChecked(cfg)
+	return pt
+}
+
+// RunScaleOutChecked is RunScaleOut under the run guardrails: with
+// cfg.MaxEvents set, a runaway simulation aborts with the structured
+// des.BudgetExceeded error. With no budget it never fails.
+func RunScaleOutChecked(cfg ScaleOutConfig) (ScaleOutPoint, error) {
 	cfg = cfg.withDefaults()
 	spec := cluster.Aurora(cfg.Tenants * cfg.NodesPerTenant)
 	tenants, err := cluster.CoSchedule(spec, cfg.Tenants, cfg.NodesPerTenant)
@@ -124,7 +134,7 @@ func RunScaleOut(cfg ScaleOutConfig) ScaleOutPoint {
 		panic(err)
 	}
 	place := cluster.Pattern1Placement(spec)
-	env := des.NewEnv()
+	env := newGuardedEnv(cfg.MaxEvents)
 	params := costmodel.Default()
 	if cfg.Params != nil {
 		params = *cfg.Params
@@ -171,6 +181,10 @@ func RunScaleOut(cfg ScaleOutConfig) ScaleOutPoint {
 		}
 	}
 	endT := env.RunUntil(horizon * 1.5)
+	if err := env.Err(); err != nil {
+		return ScaleOutPoint{}, fmt.Errorf("scale-out (%s, %g MB, %d tenants): %w",
+			cfg.Backend, cfg.SizeMB, cfg.Tenants, err)
+	}
 	if endT <= 0 {
 		endT = horizon
 	}
@@ -190,7 +204,7 @@ func RunScaleOut(cfg ScaleOutConfig) ScaleOutPoint {
 		SharedWaitS: model.SharedWaitS(cfg.Backend),
 		AggGBps:     aggGBps,
 		Writes:      writeTime.N(),
-	}
+	}, nil
 }
 
 // ScaleOutTenantCounts is the default tenant sweep (doubling up to 16).
@@ -269,14 +283,23 @@ func PrintScaleOut(w io.Writer, b datastore.Backend, points []ScaleOutPoint) {
 
 // runScaleOutScenario is the registered "scale-out" scenario: the
 // tenants × size grid for all four backends, one collapse-curve table
-// per backend.
+// per backend. Each grid runs under the run guardrails: failed cells
+// become Result.Failures while the completed points still render.
 func runScaleOutScenario(ctx context.Context, p scenario.Params) (*scenario.Result, error) {
 	res := &scenario.Result{Scenario: "scale-out", Params: p}
 	for _, b := range datastore.Backends() {
-		points, err := RunScaleOutSweep(ctx, b, p.Tenants, p.SweepIters)
+		points, fails, err := guardedGrid(ctx, p, "scale-out/"+b.String(),
+			scaleOutTenants(p.Tenants), ScaleOutSizes,
+			func(tenants int, size float64) (ScaleOutPoint, error) {
+				return RunScaleOutChecked(ScaleOutConfig{
+					Tenants: tenants, Backend: b, SizeMB: size,
+					TrainIters: p.SweepIters, MaxEvents: p.MaxEvents,
+				})
+			})
 		if err != nil {
 			return nil, err
 		}
+		res.Failures = append(res.Failures, fails...)
 		res.Tables = append(res.Tables, scaleOutTable(b, points))
 	}
 	return res, nil

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"simaibench/internal/clock"
+	"simaibench/internal/datastore"
 	"simaibench/internal/scenario"
 )
 
@@ -160,13 +162,28 @@ func runFig2(ctx context.Context, p scenario.Params) (*scenario.Result, error) {
 	return &scenario.Result{Scenario: "fig2", Params: p, Tables: tables}, nil
 }
 
+// The simulated-scale scenario runners below all follow one shape: each
+// grid runs through guardedGrid, so a panicking, hanging or
+// budget-blowing cell becomes a structured entry in Result.Failures
+// while every other cell still renders. The exported Run* sweep helpers
+// (RunFig3, RunFig5Sweep, …) keep their plain unguarded signatures for
+// library callers.
+
 func runFig3Scenario(ctx context.Context, p scenario.Params) (*scenario.Result, error) {
 	res := &scenario.Result{Scenario: "fig3", Params: p}
 	for _, nodes := range Fig3NodeCounts {
-		points, err := RunFig3(ctx, nodes, p.SweepIters)
+		points, fails, err := guardedGrid(ctx, p, fmt.Sprintf("fig3/%d-nodes", nodes),
+			datastore.Backends(), Fig3Sizes,
+			func(b datastore.Backend, size float64) (Pattern1Point, error) {
+				return RunPattern1Checked(Pattern1Config{
+					Nodes: nodes, Backend: b, SizeMB: size,
+					TrainIters: p.SweepIters, MaxEvents: p.MaxEvents,
+				})
+			})
 		if err != nil {
 			return nil, err
 		}
+		res.Failures = append(res.Failures, fails...)
 		res.Tables = append(res.Tables, fig3Table(nodes, points))
 	}
 	return res, nil
@@ -175,31 +192,52 @@ func runFig3Scenario(ctx context.Context, p scenario.Params) (*scenario.Result, 
 func runFig4Scenario(ctx context.Context, p scenario.Params) (*scenario.Result, error) {
 	res := &scenario.Result{Scenario: "fig4", Params: p}
 	for _, nodes := range Fig3NodeCounts {
-		points, err := RunFig4(ctx, nodes, p.SweepIters)
+		points, fails, err := guardedGrid(ctx, p, fmt.Sprintf("fig4/%d-nodes", nodes),
+			Fig4Backends, Fig3Sizes,
+			func(b datastore.Backend, size float64) (Pattern1Point, error) {
+				return RunPattern1Checked(Pattern1Config{
+					Nodes: nodes, Backend: b, SizeMB: size,
+					TrainIters: p.SweepIters, MaxEvents: p.MaxEvents,
+				})
+			})
 		if err != nil {
 			return nil, err
 		}
+		res.Failures = append(res.Failures, fails...)
 		res.Tables = append(res.Tables, fig4Table(nodes, points))
 	}
 	return res, nil
 }
 
 func runFig5Scenario(ctx context.Context, p scenario.Params) (*scenario.Result, error) {
-	points, err := RunFig5Sweep(ctx, p.Transfers)
+	points, fails, err := guardedGrid(ctx, p, "fig5", Pattern2Backends, Fig5Sizes,
+		func(b datastore.Backend, size float64) (Fig5Point, error) {
+			return RunFig5Checked(Fig5Config{
+				Backend: b, SizeMB: size, Transfers: p.Transfers, MaxEvents: p.MaxEvents,
+			})
+		})
 	if err != nil {
 		return nil, err
 	}
-	return &scenario.Result{Scenario: "fig5", Params: p,
+	return &scenario.Result{Scenario: "fig5", Params: p, Failures: fails,
 		Tables: []scenario.Table{fig5Table(points)}}, nil
 }
 
 func runFig6Scenario(ctx context.Context, p scenario.Params) (*scenario.Result, error) {
 	res := &scenario.Result{Scenario: "fig6", Params: p}
 	for _, nodes := range Fig6NodeCounts {
-		points, err := RunFig6Sweep(ctx, nodes, p.SweepIters)
+		points, fails, err := guardedGrid(ctx, p, fmt.Sprintf("fig6/%d-nodes", nodes),
+			Pattern2Backends, Fig6Sizes,
+			func(b datastore.Backend, size float64) (Fig6Point, error) {
+				return RunFig6Checked(Fig6Config{
+					Nodes: nodes, Backend: b, SizeMB: size,
+					TrainIters: p.SweepIters, MaxEvents: p.MaxEvents,
+				})
+			})
 		if err != nil {
 			return nil, err
 		}
+		res.Failures = append(res.Failures, fails...)
 		res.Tables = append(res.Tables, fig6Table(nodes, points))
 	}
 	return res, nil
@@ -221,19 +259,23 @@ func runStreamingScenario(ctx context.Context, p scenario.Params) (*scenario.Res
 }
 
 func runAblationScenario(ctx context.Context, p scenario.Params) (*scenario.Result, error) {
-	mds, err := RunMDSAblation(ctx, MDSAblationServices, p.SweepIters)
+	mds, mdsFails, err := runMDSAblationGuarded(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	cache, err := RunCacheAblation(ctx, CacheAblationShares, p.SweepIters)
+	cache, cacheFails, err := runCacheAblationGuarded(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	incast, err := RunIncastAblation(ctx, IncastAblationLatencies, p.SweepIters)
+	incast, incastFails, err := runIncastAblationGuarded(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	return &scenario.Result{Scenario: "ablation", Params: p, Tables: []scenario.Table{
+	res := &scenario.Result{Scenario: "ablation", Params: p, Tables: []scenario.Table{
 		mdsAblationTable(mds), cacheAblationTable(cache), incastAblationTable(incast),
-	}}, nil
+	}}
+	res.Failures = append(res.Failures, mdsFails...)
+	res.Failures = append(res.Failures, cacheFails...)
+	res.Failures = append(res.Failures, incastFails...)
+	return res, nil
 }

@@ -102,6 +102,11 @@ func newCollState(n int) *collState {
 func (c *collState) kill() {
 	c.mu.Lock()
 	c.dead = true
+	// Rejoin every bridge-parked rank before waking it to die (see
+	// mailbox.kill): the panic unwind retires each rank's barrier slot
+	// exactly once.
+	c.joinAll(&c.genWaiters)
+	c.joinAll(&c.entryWaiters)
 	c.mu.Unlock()
 	c.cond.Broadcast()
 }

@@ -65,9 +65,10 @@ func (b *mailbox) take(src, tag int) message {
 			panic("mpi: world killed while receiving")
 		}
 		// Park: release the clock barrier until a sender rejoins us.
-		// Every wake here is a put (which rejoined all waiters) or a
-		// kill (which panics above on the next pass, while the world —
-		// and any clock accounting — is being torn down anyway).
+		// Every wake here is a put or a kill, both of which rejoin all
+		// parked waiters first — a woken receiver always holds its
+		// barrier slot again, whether it matches, re-parks, or dies on
+		// the dead check above.
 		if b.leave != nil {
 			b.leave()
 			b.waiters++
@@ -91,6 +92,16 @@ func (b *mailbox) probe(src, tag int) bool {
 func (b *mailbox) kill() {
 	b.mu.Lock()
 	b.dead = true
+	// Parked receivers released their clock-barrier slot through the
+	// bridge; rejoin them before the wake so each one's unwind (panic →
+	// rank teardown → Leave) retires exactly the slot it holds, instead
+	// of driving the participant count negative.
+	if b.join != nil {
+		for i := 0; i < b.waiters; i++ {
+			b.join()
+		}
+		b.waiters = 0
+	}
 	b.mu.Unlock()
 	b.cond.Broadcast()
 }

@@ -105,6 +105,9 @@ func (w *World) Run(body func(c *Comm)) {
 }
 
 // kill unblocks all pending receives so a panicking run can unwind.
+// Ranks parked under a clock bridge are rejoined before they wake (see
+// mailbox.kill), so each dying rank's teardown retires exactly the
+// barrier slot it holds.
 func (w *World) kill() {
 	w.mu.Lock()
 	w.killed = true

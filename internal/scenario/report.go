@@ -79,8 +79,34 @@ func (textReporter) Report(w io.Writer, results []*Result) error {
 				return err
 			}
 		}
+		// Failed sweep cells are rendered explicitly — a partial result
+		// must never pass for a complete one. Healthy runs emit nothing
+		// here, keeping their output byte-identical.
+		if err := writeFailures(w, res); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// writeFailures renders a result's failed sweep cells as a text block
+// shaped like the table artifacts (title, rows, blank separator).
+func writeFailures(w io.Writer, res *Result) error {
+	if len(res.Failures) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "FAILED cells — %s (%d of the sweep's cells did not complete)\n",
+		res.Scenario, len(res.Failures)); err != nil {
+		return err
+	}
+	for _, f := range res.Failures {
+		if _, err := fmt.Fprintf(w, "  %s[%d] after %d attempt(s): %s\n",
+			f.Sweep, f.Cell, f.Attempts, f.Error); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
 }
 
 // MarshalJSON renders a Table as {"title", "columns", "rows"} with rows
@@ -154,6 +180,20 @@ func (csvReporter) Report(w io.Writer, results []*Result) error {
 					}
 					rec = append(rec, fmt.Sprint(v))
 				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+		// Failed sweep cells become their own record block, so CSV
+		// consumers see the holes instead of inferring them from missing
+		// rows. Healthy runs emit nothing.
+		if len(res.Failures) > 0 {
+			if err := cw.Write([]string{"scenario", "failed_sweep", "cell", "attempts", "error"}); err != nil {
+				return err
+			}
+			for _, f := range res.Failures {
+				rec := []string{res.Scenario, f.Sweep, fmt.Sprint(f.Cell), fmt.Sprint(f.Attempts), f.Error}
 				if err := cw.Write(rec); err != nil {
 					return err
 				}

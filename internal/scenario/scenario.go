@@ -19,7 +19,12 @@
 // enumerate the same registry.
 package scenario
 
-import "context"
+import (
+	"context"
+	"time"
+
+	"simaibench/internal/sweep"
+)
 
 // Params are the shared runtime knobs every scenario understands. The
 // zero value means "use this scenario's defaults"; a Scenario's
@@ -56,6 +61,28 @@ type Params struct {
 	// sweep to {fail-stop, CkptInterval} seconds (0 = the full default
 	// grid).
 	CkptInterval float64 `json:"ckpt_interval_s,omitempty"`
+	// TimeoutS is the per-sweep-cell wall-clock deadline in seconds
+	// (0 = none): a cell that hangs — e.g. on a mis-joined virtual-clock
+	// barrier — is abandoned with a structured failure instead of
+	// wedging the whole run.
+	TimeoutS float64 `json:"timeout_s,omitempty"`
+	// Retries grants each sweep cell extra attempts when it fails with a
+	// retryable error (0 = fail on first error).
+	Retries int `json:"retries,omitempty"`
+	// MaxEvents caps the DES events each simulated sweep cell may
+	// execute (0 = unlimited); a runaway cell aborts with a structured
+	// budget error instead of looping forever.
+	MaxEvents int64 `json:"max_events,omitempty"`
+}
+
+// Guardrails converts the params' per-cell guardrail knobs into the
+// hardened sweep runner's options. (The event budget is not a sweep
+// option: scenarios thread MaxEvents into each cell's des.Env guard.)
+func (p Params) Guardrails() sweep.Options {
+	return sweep.Options{
+		Timeout: time.Duration(p.TimeoutS * float64(time.Second)),
+		Retries: p.Retries,
+	}
 }
 
 // merge fills zero fields of p from d.
@@ -86,6 +113,15 @@ func (p Params) merge(d Params) Params {
 	}
 	if p.CkptInterval == 0 {
 		p.CkptInterval = d.CkptInterval
+	}
+	if p.TimeoutS == 0 {
+		p.TimeoutS = d.TimeoutS
+	}
+	if p.Retries == 0 {
+		p.Retries = d.Retries
+	}
+	if p.MaxEvents == 0 {
+		p.MaxEvents = d.MaxEvents
 	}
 	return p
 }
@@ -136,6 +172,39 @@ type Result struct {
 	Scenario string  `json:"scenario"`
 	Params   Params  `json:"params"`
 	Tables   []Table `json:"tables"`
+	// Failures lists sweep cells that failed under the run guardrails —
+	// panics, budget trips, timeouts — while the rest of the sweep
+	// completed. Empty on healthy runs (and omitted from JSON), so
+	// healthy output is byte-identical with guardrails on.
+	Failures []CellFailure `json:"failures,omitempty"`
+}
+
+// CellFailure records one failed sweep cell of a scenario run, in the
+// reporters' render path so failed cells are explicit in text, JSON and
+// CSV output instead of silently missing rows.
+type CellFailure struct {
+	// Sweep labels which of the scenario's sweeps the cell belongs to
+	// (e.g. "fig3/512", "scale-out/redis").
+	Sweep string `json:"sweep"`
+	// Cell is the cell's index in the sweep's enumeration order.
+	Cell int `json:"cell"`
+	// Attempts is how many attempts the guarded runner made.
+	Attempts int `json:"attempts,omitempty"`
+	// Error is the structured cell failure rendered as text.
+	Error string `json:"error"`
+}
+
+// FailuresFrom converts the hardened sweep runner's cell errors into
+// scenario failure records under one sweep label.
+func FailuresFrom(sweepLabel string, errs []*sweep.CellError) []CellFailure {
+	out := make([]CellFailure, 0, len(errs))
+	for _, ce := range errs {
+		out = append(out, CellFailure{
+			Sweep: sweepLabel, Cell: ce.Index, Attempts: ce.Attempts,
+			Error: ce.Err.Error(),
+		})
+	}
+	return out
 }
 
 // Table is one rendered artifact: either a column-formatted table

@@ -1,0 +1,203 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A panicking cell must surface as a structured CellError with a stack,
+// while every other cell completes — the sweep is no longer
+// all-or-nothing.
+func TestRunIsolatesPanics(t *testing.T) {
+	prev := Workers
+	defer func() { Workers = prev }()
+	for _, workers := range []int{1, 4} {
+		Workers = workers
+		r := Run(context.Background(), 10, Options{}, func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				panic("saboteur")
+			}
+			return i * i, nil
+		})
+		if r.OK() {
+			t.Fatalf("workers=%d: OK() true with a panicking cell", workers)
+		}
+		if len(r.Failures) != 1 {
+			t.Fatalf("workers=%d: %d failures, want 1", workers, len(r.Failures))
+		}
+		ce := r.Failures[0]
+		if ce.Index != 3 || ce.Attempts != 1 {
+			t.Fatalf("workers=%d: failure = %+v, want cell 3, 1 attempt", workers, ce)
+		}
+		var pe *PanicError
+		if !errors.As(ce.Err, &pe) || pe.Value != "saboteur" {
+			t.Fatalf("workers=%d: Err = %v, want PanicError(saboteur)", workers, ce.Err)
+		}
+		if !strings.Contains(ce.Stack, "TestRunIsolatesPanics") {
+			t.Fatalf("workers=%d: stack does not name the panic site:\n%s", workers, ce.Stack)
+		}
+		for i := 0; i < 10; i++ {
+			want, st := StatusOK, i*i
+			if i == 3 {
+				want, st = StatusFailed, 0
+			}
+			if r.Status[i] != want || r.Values[i] != st {
+				t.Fatalf("workers=%d: cell %d = (%v, %d), want (%v, %d)",
+					workers, i, r.Status[i], r.Values[i], want, st)
+			}
+		}
+		if got := r.Completed(); len(got) != 9 {
+			t.Fatalf("workers=%d: Completed() returned %d values, want 9", workers, len(got))
+		}
+	}
+}
+
+// The partial-result ambiguity fix: on cancellation, never-started cells
+// are StatusSkipped — distinguishable from completed cells whose result
+// happens to be the zero value.
+func TestRunCancellationMarksSkippedCells(t *testing.T) {
+	prev := Workers
+	defer func() { Workers = prev }()
+	Workers = 1 // serial: deterministic claim order
+	ctx, cancel := context.WithCancel(context.Background())
+	r := Run(ctx, 100, Options{}, func(_ context.Context, i int) (int, error) {
+		if i == 4 {
+			cancel()
+		}
+		return 0, nil // the zero value IS the legitimate result
+	})
+	if !errors.Is(r.CtxErr, context.Canceled) || !errors.Is(r.Err(), context.Canceled) {
+		t.Fatalf("CtxErr = %v, want Canceled", r.CtxErr)
+	}
+	for i := 0; i <= 4; i++ {
+		if r.Status[i] != StatusOK {
+			t.Fatalf("completed cell %d marked %v", i, r.Status[i])
+		}
+	}
+	for i := 5; i < 100; i++ {
+		if r.Status[i] != StatusSkipped {
+			t.Fatalf("never-started cell %d marked %v, want skipped", i, r.Status[i])
+		}
+	}
+	if got := r.Completed(); len(got) != 5 {
+		t.Fatalf("Completed() = %d values, want the 5 that ran", len(got))
+	}
+}
+
+// Retryable failures are re-attempted with bounded backoff; the attempt
+// count lands in the report. Non-retryable errors fail immediately.
+func TestRunRetriesRetryableErrors(t *testing.T) {
+	var attempts atomic.Int64
+	r := Run(context.Background(), 1, Options{Retries: 3, Backoff: time.Microsecond},
+		func(_ context.Context, i int) (string, error) {
+			if attempts.Add(1) < 3 {
+				return "", Retryable(errors.New("transient"))
+			}
+			return "recovered", nil
+		})
+	if !r.OK() || r.Values[0] != "recovered" {
+		t.Fatalf("flaky cell did not recover: %+v err=%v", r.Values, r.Err())
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("made %d attempts, want 3", attempts.Load())
+	}
+
+	// Retries exhausted: the report records every attempt.
+	attempts.Store(0)
+	r2 := Run(context.Background(), 1, Options{Retries: 2, Backoff: time.Microsecond},
+		func(_ context.Context, i int) (string, error) {
+			attempts.Add(1)
+			return "", Retryable(errors.New("always down"))
+		})
+	if r2.OK() || r2.Failures[0].Attempts != 3 || attempts.Load() != 3 {
+		t.Fatalf("exhausted retry: failures=%v attempts=%d", r2.Failures, attempts.Load())
+	}
+
+	// Non-retryable: one attempt only, despite the retry budget.
+	attempts.Store(0)
+	r3 := Run(context.Background(), 1, Options{Retries: 5},
+		func(_ context.Context, i int) (string, error) {
+			attempts.Add(1)
+			return "", errors.New("permanent")
+		})
+	if r3.OK() || attempts.Load() != 1 || r3.Failures[0].Attempts != 1 {
+		t.Fatalf("non-retryable error was retried: attempts=%d", attempts.Load())
+	}
+}
+
+// A cell wedged past its deadline is abandoned with ErrCellTimeout while
+// the rest of the sweep completes.
+func TestRunAbandonsHungCell(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang) // release the abandoned goroutine at test end
+	r := Run(context.Background(), 4, Options{Timeout: 50 * time.Millisecond},
+		func(_ context.Context, i int) (int, error) {
+			if i == 2 {
+				<-hang // wedged: never observes its ctx
+			}
+			return i, nil
+		})
+	if len(r.Failures) != 1 || r.Failures[0].Index != 2 {
+		t.Fatalf("failures = %v, want exactly the hung cell 2", r.Failures)
+	}
+	if !errors.Is(r.Failures[0].Err, ErrCellTimeout) {
+		t.Fatalf("hung cell error = %v, want ErrCellTimeout", r.Failures[0].Err)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if r.Status[i] != StatusOK || r.Values[i] != i {
+			t.Fatalf("healthy cell %d = (%v, %d)", i, r.Status[i], r.Values[i])
+		}
+	}
+}
+
+// RunGrid keeps Grid's row-major enumeration order.
+func TestRunGridOrder(t *testing.T) {
+	r := RunGrid(context.Background(), []string{"a", "b"}, []int{1, 2, 3}, Options{},
+		func(_ context.Context, x string, y int) (string, error) {
+			return fmt.Sprintf("%s%d", x, y), nil
+		})
+	want := []string{"a1", "a2", "a3", "b1", "b2", "b3"}
+	for i, w := range want {
+		if r.Values[i] != w {
+			t.Fatalf("cell %d = %q, want %q", i, r.Values[i], w)
+		}
+	}
+}
+
+// Map is now backed by the hardened runner: a panicking cell yields an
+// error instead of killing the process, and healthy behavior is
+// unchanged.
+func TestMapSurvivesPanic(t *testing.T) {
+	_, err := Map(context.Background(), 5, func(i int) int {
+		if i == 1 {
+			panic("boom")
+		}
+		return i
+	})
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Index != 1 {
+		t.Fatalf("Map error = %v, want *CellError for cell 1", err)
+	}
+}
+
+// Backoff jitter is deterministic per (Seed, cell index).
+func TestRetryBackoffSeeded(t *testing.T) {
+	timing := func(seed int64) time.Duration {
+		start := time.Now()
+		Run(context.Background(), 1, Options{Retries: 2, Backoff: 2 * time.Millisecond, Seed: seed},
+			func(_ context.Context, i int) (int, error) {
+				return 0, Retryable(errors.New("transient"))
+			})
+		return time.Since(start)
+	}
+	// Two runs with the same seed take the same backoff schedule; this is
+	// a smoke check that the path is exercised, not a timing assertion.
+	if d := timing(7); d < 2*time.Millisecond {
+		t.Fatalf("backoff did not delay retries (total %v)", d)
+	}
+}

@@ -1,6 +1,8 @@
 // Package sweep is the parallel parameter-sweep runner shared by every
 // experiment harness: a bounded worker pool that fans independent cells
-// across cores and a declarative cartesian Grid on top of it.
+// across cores, a declarative cartesian Grid on top of it, and a
+// hardened Run variant (report.go) with panic isolation, per-cell
+// deadlines, retry and per-cell completion state.
 //
 // Each cell builds its own isolated des.Env and cost model, runs
 // single-threaded and bit-deterministic, and writes only its own result
@@ -20,12 +22,9 @@ import (
 // execution.
 var Workers int
 
-// Map evaluates f(0..n-1) on a bounded worker pool and returns the
-// results in index order. Cancelling ctx stops new cells from starting;
-// Map then returns the partial results alongside ctx.Err() (cells never
-// started hold zero values).
-func Map[T any](ctx context.Context, n int, f func(i int) T) ([]T, error) {
-	out := make([]T, n)
+// forEachCell dispatches cell(0..n-1) over the bounded worker pool,
+// stopping dispatch (but not in-flight cells) when ctx is cancelled.
+func forEachCell(ctx context.Context, n int, cell func(i int)) {
 	workers := Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -34,13 +33,13 @@ func Map[T any](ctx context.Context, n int, f func(i int) T) ([]T, error) {
 		workers = n
 	}
 	if workers <= 1 {
-		for i := range out {
-			if err := ctx.Err(); err != nil {
-				return out, err
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
 			}
-			out[i] = f(i)
+			cell(i)
 		}
-		return out, nil
+		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -53,12 +52,25 @@ func Map[T any](ctx context.Context, n int, f func(i int) T) ([]T, error) {
 				if i >= n {
 					return
 				}
-				out[i] = f(i)
+				cell(i)
 			}
 		}()
 	}
 	wg.Wait()
-	return out, ctx.Err()
+}
+
+// Map evaluates f(0..n-1) on the bounded worker pool and returns the
+// results in index order. Cancelling ctx stops new cells from starting;
+// Map then returns the partial results alongside ctx.Err(). A panicking
+// cell no longer kills the sweep: it surfaces as a *CellError. Note the
+// returned slice alone cannot distinguish a never-started cell's zero
+// value from a real result — use Run when per-cell completion state
+// matters.
+func Map[T any](ctx context.Context, n int, f func(i int) T) ([]T, error) {
+	r := Run(ctx, n, Options{}, func(_ context.Context, i int) (T, error) {
+		return f(i), nil
+	})
+	return r.Values, r.Err()
 }
 
 // Grid runs f over the row-major cartesian product of xs × ys — the

@@ -150,10 +150,11 @@ func TestCrashMidAllReduceTearsDownClockBridge(t *testing.T) {
 				ctx.Clock.Sleep(20)
 				panic("node 1 hardware failure")
 			}
+			// Bare AllReduce: collective waits are bridged to the clock
+			// barrier by Launch, so wrapping them in Clock.Block would
+			// double-release the caller's slot.
 			buf := []float64{1}
-			ctx.Clock.Block(func() {
-				ctx.Comm.AllReduce(mpi.Sum, buf)
-			})
+			ctx.Comm.AllReduce(mpi.Sum, buf)
 			return nil
 		},
 	})
@@ -196,9 +197,7 @@ func TestRemoteRankRestartsUnderVirtualClock(t *testing.T) {
 					return Restartable(errors.New("rank 2 lost"))
 				}
 				buf := []float64{float64(i)}
-				ctx.Clock.Block(func() {
-					ctx.Comm.AllReduce(mpi.Sum, buf)
-				})
+				ctx.Comm.AllReduce(mpi.Sum, buf)
 				if buf[0] != float64(i*ranks) {
 					return fmt.Errorf("allreduce = %v at iter %d", buf[0], i)
 				}

@@ -1,0 +1,102 @@
+package simaibench
+
+import (
+	"context"
+
+	"simaibench/internal/clock"
+	"simaibench/internal/des"
+	"simaibench/internal/scenario"
+	"simaibench/internal/sweep"
+)
+
+// Run guardrails: the public surface of the robustness layer. Sweep
+// campaigns run on a hardened runner with panic isolation, per-cell
+// deadlines and bounded retry (SweepOptions / RunCells / SweepReport);
+// simulated cells carry a DES event budget (SimGuard / BudgetExceeded,
+// set per scenario through ScenarioParams.MaxEvents); and the virtual
+// emulation clock diagnoses barrier stalls through a watchdog
+// (VirtualClock.Watchdog / StallError) instead of deadlocking. Failed
+// cells surface as ScenarioResult.Failures and render explicitly in
+// every report format. With no guardrail knobs set, every path is
+// byte-identical to the unguarded one.
+
+// SweepOptions are the guardrail knobs of a hardened sweep: per-attempt
+// wall-clock deadline, bounded retry for Retryable errors, and the
+// seeded backoff schedule. The zero value runs cells inline with panic
+// isolation only.
+type SweepOptions = sweep.Options
+
+// SweepReport is the structured outcome of a hardened sweep: per-cell
+// values, per-cell completion status, and structured failures — the
+// partial-result view that never passes a zero value off as data.
+type SweepReport[T any] = sweep.Report[T]
+
+// CellStatus classifies one cell of a SweepReport: completed, failed, or
+// never started (skipped on cancellation).
+type CellStatus = sweep.Status
+
+// The per-cell completion states of a hardened sweep.
+const (
+	// CellSkipped: the cell never started before the sweep was cancelled.
+	CellSkipped = sweep.StatusSkipped
+	// CellOK: the cell completed and its value slot is valid.
+	CellOK = sweep.StatusOK
+	// CellFailed: the cell panicked, timed out, or errored out.
+	CellFailed = sweep.StatusFailed
+)
+
+// CellError is the structured failure of one sweep cell: its index,
+// attempt count, final error, and the stack for panics.
+type CellError = sweep.CellError
+
+// PanicError wraps a panic recovered from a sweep cell.
+type PanicError = sweep.PanicError
+
+// ErrCellTimeout marks a sweep cell abandoned at its per-attempt
+// deadline.
+var ErrCellTimeout = sweep.ErrCellTimeout
+
+// Retryable marks an error as transient, making the hardened sweep
+// runner re-attempt the cell under SweepOptions.Retries.
+func Retryable(err error) error { return sweep.Retryable(err) }
+
+// IsRetryable reports whether err (or anything it wraps) was marked with
+// Retryable.
+func IsRetryable(err error) bool { return sweep.IsRetryable(err) }
+
+// RunCells evaluates f(ctx, 0..n-1) on the bounded worker pool with the
+// full guardrail stack, returning every completed cell plus structured
+// failures instead of being all-or-nothing.
+func RunCells[T any](ctx context.Context, n int, opts SweepOptions,
+	f func(ctx context.Context, i int) (T, error)) *SweepReport[T] {
+	return sweep.Run(ctx, n, opts, f)
+}
+
+// RunCellGrid is RunCells over the row-major cartesian product xs × ys.
+func RunCellGrid[X, Y, T any](ctx context.Context, xs []X, ys []Y, opts SweepOptions,
+	f func(ctx context.Context, x X, y Y) (T, error)) *SweepReport[T] {
+	return sweep.RunGrid(ctx, xs, ys, opts, f)
+}
+
+// SimGuard bounds a discrete-event simulation: an executed-event budget
+// and a virtual-time horizon that convert a runaway run into a
+// structured BudgetExceeded error. Scenarios apply it per sweep cell
+// from ScenarioParams.MaxEvents.
+type SimGuard = des.Guard
+
+// BudgetExceeded is the structured error of a simulation that tripped
+// its SimGuard: which limit tripped and how far the run got.
+type BudgetExceeded = des.BudgetExceeded
+
+// StallError is a virtual-clock watchdog's diagnosis of a stalled time
+// barrier: participant and sleeper counts, the frozen virtual time, and
+// how long the clock has been idle. It wraps ErrStalled.
+type StallError = clock.StallError
+
+// ErrStalled marks a virtual-clock stall diagnosed by
+// VirtualClock.Watchdog; match with errors.Is.
+var ErrStalled = clock.ErrStalled
+
+// CellFailure records one failed sweep cell of a scenario run, as
+// carried by ScenarioResult.Failures and rendered by every reporter.
+type CellFailure = scenario.CellFailure

@@ -1,0 +1,74 @@
+package simaibench
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The public guardrail surface: hardened sweeps isolate panics and
+// retry transient failures, the Checked harnesses surface budget trips
+// as BudgetExceeded, and guarded scenario runs carry failed cells in
+// ScenarioResult.Failures.
+func TestPublicHardenedSweep(t *testing.T) {
+	attempts := 0
+	rep := RunCells(context.Background(), 3, SweepOptions{Retries: 2},
+		func(_ context.Context, i int) (int, error) {
+			switch i {
+			case 1:
+				panic("public saboteur")
+			case 2:
+				attempts++
+				if attempts == 1 {
+					return 0, Retryable(errors.New("transient"))
+				}
+			}
+			return i * 10, nil
+		})
+	if rep.OK() {
+		t.Fatal("OK() true with a panicking cell")
+	}
+	if len(rep.Failures) != 1 || rep.Failures[0].Index != 1 {
+		t.Fatalf("failures = %v, want exactly cell 1", rep.Failures)
+	}
+	var pe *PanicError
+	if !errors.As(rep.Failures[0].Err, &pe) {
+		t.Fatalf("cell 1 error = %v, want PanicError", rep.Failures[0].Err)
+	}
+	if rep.Status[0] != CellOK || rep.Status[1] != CellFailed || rep.Status[2] != CellOK {
+		t.Fatalf("statuses = %v", rep.Status)
+	}
+	if attempts != 2 {
+		t.Fatalf("retryable cell made %d attempts, want 2", attempts)
+	}
+	if got := rep.Completed(); len(got) != 2 || got[0] != 0 || got[1] != 20 {
+		t.Fatalf("Completed() = %v", got)
+	}
+}
+
+func TestPublicCheckedHarnessBudget(t *testing.T) {
+	_, err := RunScaleOutChecked(ScaleOutConfig{TrainIters: 50, MaxEvents: 20})
+	var be *BudgetExceeded
+	if !errors.As(err, &be) || be.Events < 20 {
+		t.Fatalf("error = %v, want BudgetExceeded after 20 events", err)
+	}
+	if _, err := RunResilienceChecked(ResilienceConfig{TrainIters: 50}); err != nil {
+		t.Fatalf("unguarded checked run failed: %v", err)
+	}
+}
+
+func TestPublicScenarioGuardrails(t *testing.T) {
+	res, err := RunScenario(context.Background(), "fig5",
+		ScenarioParams{Transfers: 5, MaxEvents: 10})
+	if err != nil {
+		t.Fatalf("budget-starved scenario aborted instead of reporting failures: %v", err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("no CellFailure records from budget-starved cells")
+	}
+	var f CellFailure = res.Failures[0]
+	if f.Sweep != "fig5" || !strings.Contains(f.Error, "event budget exceeded") {
+		t.Fatalf("failure record = %+v", f)
+	}
+}

@@ -59,3 +59,10 @@ type ScaleOutPoint = experiments.ScaleOutPoint
 // RunScaleOut simulates one multi-tenant configuration and returns its
 // measurement. Deterministic: equal configs give bit-equal points.
 func RunScaleOut(cfg ScaleOutConfig) ScaleOutPoint { return experiments.RunScaleOut(cfg) }
+
+// RunScaleOutChecked is RunScaleOut under the run guardrails: with
+// cfg.MaxEvents set, a runaway simulation aborts with a structured
+// BudgetExceeded error instead of looping forever.
+func RunScaleOutChecked(cfg ScaleOutConfig) (ScaleOutPoint, error) {
+	return experiments.RunScaleOutChecked(cfg)
+}

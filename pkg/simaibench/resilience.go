@@ -72,3 +72,10 @@ type ResiliencePoint = experiments.ResiliencePoint
 // With a healthy profile the staging observables are bit-identical to
 // the equivalent RunScaleOut call.
 func RunResilience(cfg ResilienceConfig) ResiliencePoint { return experiments.RunResilience(cfg) }
+
+// RunResilienceChecked is RunResilience under the run guardrails: with
+// cfg.MaxEvents set, a runaway simulation aborts with a structured
+// BudgetExceeded error instead of looping forever.
+func RunResilienceChecked(cfg ResilienceConfig) (ResiliencePoint, error) {
+	return experiments.RunResilienceChecked(cfg)
+}
