@@ -329,3 +329,32 @@ func BenchmarkGuardrails(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCampaign runs the facility-scale scheduling campaign at the
+// two interesting offered-load multiples: 0.7× capacity (the healthy
+// operating point) and 1.2× (sustained overload, where discipline
+// choice dominates the tails). The reported p99 slowdowns are the
+// headline contract recorded in BENCH_DES.json: at overload the
+// size-aware policies (SRPT, Hermod) hold the p99 slowdown an order of
+// magnitude below FIFO at the same ≥0.9 utilization.
+func BenchmarkCampaign(b *testing.B) {
+	for _, load := range []float64{0.7, 1.2} {
+		for _, pol := range []string{"fifo", "srpt", "hermod"} {
+			b.Run(fmt.Sprintf("load=%.1f_policy=%s", load, pol), func(b *testing.B) {
+				var pt experiments.CampaignPoint
+				for i := 0; i < b.N; i++ {
+					var err error
+					pt, err = experiments.RunCampaignChecked(experiments.CampaignConfig{
+						Load: load, Policy: pol, Jobs: 2000,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(pt.SlowP99, "p99-slowdown")
+				b.ReportMetric(pt.WaitP99S, "p99-wait-s")
+				b.ReportMetric(pt.Util, "util")
+			})
+		}
+	}
+}

@@ -68,6 +68,9 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	tenants := fs.Int("tenants", 0, "max co-scheduled workflows for the scale-out family (0 = scenario default, 16)")
 	mtbf := fs.Float64("mtbf", 0, "per-node MTBF seconds for the resilience family: narrows the sweep to {healthy, MTBF} (0 = full default grid)")
 	ckpt := fs.Float64("ckpt", 0, "checkpoint interval seconds for the resilience family: narrows the sweep to {fail-stop, CKPT} (0 = full default grid)")
+	rate := fs.Float64("rate", 0, "offered load multiple for the campaign family: narrows the sweep to {RATE} (0 = full default grid)")
+	policy := fs.String("policy", "", "scheduling policy for the campaign family: fifo|edf|srpt|hermod (empty = all policies)")
+	jobs := fs.Int("jobs", 0, "open-loop jobs per campaign sweep cell (0 = scenario default, 2000)")
 	parallel := fs.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial); results are identical at any setting")
 	timeout := fs.Float64("timeout", 0, "per-sweep-cell wall-clock deadline in seconds (0 = none); a wedged cell is abandoned with a structured failure instead of hanging the run")
 	retries := fs.Int("retries", 0, "extra attempts per sweep cell on retryable failures (0 = fail on first error)")
@@ -110,6 +113,9 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		Clock:        *clockKind,
 		MTBF:         *mtbf,
 		CkptInterval: *ckpt,
+		Rate:         *rate,
+		Policy:       *policy,
+		Jobs:         *jobs,
 		TimeoutS:     *timeout,
 		Retries:      *retries,
 		MaxEvents:    *maxEvents,

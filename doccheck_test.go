@@ -23,6 +23,8 @@ var docCheckedPackages = []string{
 	"internal/scenario",
 	"internal/sweep",
 	"internal/cluster",
+	"internal/loadgen",
+	"internal/schedule",
 	"pkg/simaibench",
 }
 

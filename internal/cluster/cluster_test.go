@@ -191,3 +191,93 @@ func TestNodeSetReplacementRoundRobin(t *testing.T) {
 		t.Fatal("Replacement with all nodes down should report !ok")
 	}
 }
+
+// TestNodeSetReplacementPoolExhaustion walks the pool down to empty
+// and back: every intermediate state must still produce a valid up
+// replacement, exhaustion must be reported exactly when the last node
+// falls, and a single restore must re-open the pool with that node.
+func TestNodeSetReplacementPoolExhaustion(t *testing.T) {
+	const n = 8
+	ns := NewNodeSet(Aurora(n))
+	for i := 0; i < n-1; i++ {
+		ns.Fail(i)
+		r, ok := ns.Replacement(i)
+		if !ok {
+			t.Fatalf("pool reported empty with %d nodes still up", ns.UpCount())
+		}
+		if !ns.Up(r) {
+			t.Fatalf("Replacement(%d) = %d, which is down", i, r)
+		}
+	}
+	// Only node n-1 remains: every caller must be routed to it.
+	for failed := 0; failed < n-1; failed++ {
+		if r, ok := ns.Replacement(failed); !ok || r != n-1 {
+			t.Fatalf("Replacement(%d) = %d,%v, want %d,true", failed, r, ok, n-1)
+		}
+	}
+	ns.Fail(n - 1)
+	for failed := 0; failed < n; failed++ {
+		if _, ok := ns.Replacement(failed); ok {
+			t.Fatalf("Replacement(%d) found a node with all %d down", failed, n)
+		}
+	}
+	if ns.UpCount() != 0 || ns.Fails() != n {
+		t.Fatalf("exhausted pool: upcount=%d fails=%d", ns.UpCount(), ns.Fails())
+	}
+	// One repair re-opens the pool, and it is the only candidate.
+	ns.Restore(3)
+	for failed := 0; failed < n; failed++ {
+		if r, ok := ns.Replacement(failed); !ok || r != 3 {
+			t.Fatalf("after restoring 3: Replacement(%d) = %d,%v", failed, r, ok)
+		}
+	}
+}
+
+// TestNodeSetInterleavedAccounting drives a long deterministic
+// fail/restore interleaving (including redundant transitions) against
+// a naive reference model and checks Up/UpCount/Fails agree at every
+// step — the accounting contract the scheduler's free-pool counter
+// leans on.
+func TestNodeSetInterleavedAccounting(t *testing.T) {
+	const n = 5
+	ns := NewNodeSet(Aurora(n))
+	up := [n]bool{true, true, true, true, true}
+	fails := 0
+	// A fixed pseudo-random walk: step i toggles node (i*3)%n, failing
+	// on even parity and restoring on odd, so the sequence hits
+	// double-fails and double-restores naturally.
+	for i := 0; i < 200; i++ {
+		node := (i * 3) % n
+		if i%2 == 0 {
+			want := up[node]
+			if got := ns.Fail(node); got != want {
+				t.Fatalf("step %d: Fail(%d) = %v, want %v", i, node, got, want)
+			}
+			if want {
+				up[node] = false
+				fails++
+			}
+		} else {
+			want := !up[node]
+			if got := ns.Restore(node); got != want {
+				t.Fatalf("step %d: Restore(%d) = %v, want %v", i, node, got, want)
+			}
+			if want {
+				up[node] = true
+			}
+		}
+		wantUp := 0
+		for j, u := range up {
+			if u != ns.Up(j) {
+				t.Fatalf("step %d: node %d up=%v, model says %v", i, j, ns.Up(j), u)
+			}
+			if u {
+				wantUp++
+			}
+		}
+		if ns.UpCount() != wantUp || ns.Fails() != fails {
+			t.Fatalf("step %d: upcount=%d fails=%d, model says %d/%d",
+				i, ns.UpCount(), ns.Fails(), wantUp, fails)
+		}
+	}
+}

@@ -37,6 +37,25 @@ type Normal struct {
 	Std   float64
 }
 
+// NewNormal builds a zero-truncated Gaussian, validating the degenerate
+// parameters the composite literal cannot catch: a negative, NaN or
+// infinite std and a non-finite mean. Open-loop load generators build
+// their samplers through this contract so a misconfigured class fails
+// at construction instead of producing NaN durations mid-campaign. A
+// zero std degenerates to Fixed(mean).
+func NewNormal(mean, std float64) (Sampler, error) {
+	if math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return nil, fmt.Errorf("dist: normal mean must be finite, got %v", mean)
+	}
+	if std < 0 || math.IsNaN(std) || math.IsInf(std, 0) {
+		return nil, fmt.Errorf("dist: normal std must be finite and >= 0, got %v", std)
+	}
+	if std == 0 {
+		return Fixed(mean), nil
+	}
+	return Normal{MeanV: mean, Std: std}, nil
+}
+
 // Sample draws from N(MeanV, Std²), clamped to be non-negative.
 func (n Normal) Sample(rng *rand.Rand) float64 {
 	v := n.MeanV + n.Std*rng.NormFloat64()
@@ -55,6 +74,18 @@ func (n Normal) Mean() float64 { return n.MeanV }
 // (MTBF draws). Parameterized by its mean (the MTBF itself).
 type Exponential struct {
 	MeanV float64
+}
+
+// NewExponential builds the memoryless distribution with the given
+// mean, rejecting non-positive, NaN or infinite means — the degenerate
+// parameters that would otherwise turn an arrival process into a burst
+// of zero-gap (or never-arriving) events. Inter-arrival samplers built
+// through this contract fail fast at configuration time.
+func NewExponential(mean float64) (Sampler, error) {
+	if !(mean > 0) || math.IsInf(mean, 0) {
+		return nil, fmt.Errorf("dist: exponential mean must be finite and > 0, got %v", mean)
+	}
+	return Exponential{MeanV: mean}, nil
 }
 
 // Sample draws from Exp(1/MeanV). A non-positive mean degenerates to

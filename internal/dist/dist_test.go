@@ -173,3 +173,54 @@ func TestSamplersDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestNewNormalValidates(t *testing.T) {
+	for _, tc := range []struct{ mean, std float64 }{
+		{1, -0.5},
+		{1, math.NaN()},
+		{1, math.Inf(1)},
+		{math.NaN(), 0.1},
+		{math.Inf(1), 0.1},
+	} {
+		if _, err := NewNormal(tc.mean, tc.std); err == nil {
+			t.Errorf("NewNormal(%v, %v) accepted degenerate parameters", tc.mean, tc.std)
+		}
+	}
+	s, err := NewNormal(0.03, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean() != 0.03 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// Zero std degenerates to the fixed distribution, like NewLogNormal.
+	s, err = NewNormal(2.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(Fixed); !ok {
+		t.Fatalf("NewNormal with zero std returned %T, want Fixed", s)
+	}
+}
+
+func TestNewExponentialValidates(t *testing.T) {
+	for _, mean := range []float64{0, -3, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := NewExponential(mean); err == nil {
+			t.Errorf("NewExponential(%v) accepted a degenerate mean", mean)
+		}
+	}
+	s, err := NewExponential(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean() != 120 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// The validated sampler draws from the same stream positions as the
+	// composite literal, so swapping constructors cannot shift timelines.
+	a := s.Sample(rand.New(rand.NewSource(9)))
+	b := Exponential{MeanV: 120}.Sample(rand.New(rand.NewSource(9)))
+	if a != b {
+		t.Fatalf("constructor sampler diverged: %v vs %v", a, b)
+	}
+}

@@ -75,6 +75,9 @@ func init() {
 	scenario.Register(scenario.New("resilience",
 		"Fault injection — node crashes vs checkpoint/restart cadence per backend (wasted work + optimal interval)",
 		scenario.Params{SweepIters: 600, Tenants: 4}, runResilienceScenario))
+	scenario.Register(scenario.New("campaign",
+		"Facility-scale scheduling — open-loop job stream vs global policy (queueing tails, utilization, fairness)",
+		scenario.Params{Jobs: 2000, Tenants: 8}, runCampaignScenario))
 	// "all" reproduces the paper's core artifacts in presentation order
 	// (the streaming extension and ablations remain separate ids, as in
 	// the pre-registry CLI).

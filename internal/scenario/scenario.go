@@ -61,6 +61,16 @@ type Params struct {
 	// sweep to {fail-stop, CkptInterval} seconds (0 = the full default
 	// grid).
 	CkptInterval float64 `json:"ckpt_interval_s,omitempty"`
+	// Rate narrows the campaign family's offered-load sweep to the
+	// single multiple of facility capacity (0 = the full default grid,
+	// e.g. 1.2 = 20% overload).
+	Rate float64 `json:"rate,omitempty"`
+	// Policy narrows the campaign family's scheduling-policy sweep to
+	// one policy id (empty = all built-in policies).
+	Policy string `json:"policy,omitempty"`
+	// Jobs sets the campaign family's open-loop job count per sweep
+	// cell (0 = the scenario default).
+	Jobs int `json:"jobs,omitempty"`
 	// TimeoutS is the per-sweep-cell wall-clock deadline in seconds
 	// (0 = none): a cell that hangs — e.g. on a mis-joined virtual-clock
 	// barrier — is abandoned with a structured failure instead of
@@ -113,6 +123,15 @@ func (p Params) merge(d Params) Params {
 	}
 	if p.CkptInterval == 0 {
 		p.CkptInterval = d.CkptInterval
+	}
+	if p.Rate == 0 {
+		p.Rate = d.Rate
+	}
+	if p.Policy == "" {
+		p.Policy = d.Policy
+	}
+	if p.Jobs == 0 {
+		p.Jobs = d.Jobs
 	}
 	if p.TimeoutS == 0 {
 		p.TimeoutS = d.TimeoutS

@@ -1,0 +1,145 @@
+// Package schedule is the global scheduling layer of the facility-scale
+// campaign scenarios: it takes the open-loop job stream produced by
+// internal/loadgen and places each job onto a free block of the
+// facility's nodes (cluster.NodeSet), entirely as flat callback events
+// on a des.Env — arrivals, placements, completions, crash evictions and
+// repairs all share the engine's deterministic (time, seq) order, so a
+// campaign is bit-reproducible per seed.
+//
+// Policies are pluggable orderings over the pending queue. All four
+// built-ins (FIFO, EDF, SRPT, Hermod-style hybrid) run under the same
+// queue mechanics — strict priority with head-of-line blocking, no
+// backfill — so a policy comparison isolates the ordering itself: the
+// highest-priority job reserves the machine room until enough nodes
+// free up, exactly the regime where size-aware orderings beat arrival
+// order.
+//
+// The scheduler composes with internal/faults: node crashes evict the
+// running job (its work is lost, fail-stop), return it to the pending
+// queue and count a restart; repairs return capacity. Because the
+// injector's crash streams are seeded independently of both the
+// arrival streams and the policy, every policy in a sweep is judged
+// against identical disturbances.
+package schedule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Policy is a pluggable global scheduling discipline: a strict weak
+// ordering over the pending queue. The scheduler repeatedly places the
+// least job (by Less) that fits the free capacity, blocking the queue
+// when the least job does not fit. Implementations must be
+// deterministic — break every tie on Job.ID — or campaign runs lose
+// bit-reproducibility.
+type Policy interface {
+	// Name is the stable id used by -policy flags and reports.
+	Name() string
+	// Less reports whether a should be placed before b at virtual time
+	// now.
+	Less(a, b *Queued, now float64) bool
+}
+
+// FIFO orders by arrival time: the baseline every batch system starts
+// from, and the policy whose tails collapse first under overload —
+// one wide job at the head starves everything behind it.
+func FIFO() Policy { return fifoPolicy{} }
+
+// EDF orders by absolute deadline (earliest due first): the classic
+// real-time discipline, sensitive to the deadline slack the load
+// generator samples per class.
+func EDF() Policy { return edfPolicy{} }
+
+// SRPT orders by remaining service time. Under this scheduler's
+// non-preemptive, fail-stop regime a queued job always owes its full
+// nominal service, so the ordering is shortest-service-first at every
+// decision point — the size-aware discipline that minimizes mean
+// slowdown.
+func SRPT() Policy { return srptPolicy{} }
+
+// Hermod is a hybrid in the style of the Hermod serverless-training
+// scheduler: size-aware like SRPT, but a job's effective size decays
+// with its waiting time, so large jobs age into the front of the queue
+// instead of starving behind an endless stream of small ones. The
+// score is service²/(service + wait): equal to the service time for a
+// fresh job, asymptotically proportional to service²/wait as it ages.
+func Hermod() Policy { return hermodPolicy{} }
+
+type fifoPolicy struct{}
+
+func (fifoPolicy) Name() string { return "fifo" }
+func (fifoPolicy) Less(a, b *Queued, _ float64) bool {
+	if a.Job.ArriveS != b.Job.ArriveS {
+		return a.Job.ArriveS < b.Job.ArriveS
+	}
+	return a.Job.ID < b.Job.ID
+}
+
+type edfPolicy struct{}
+
+func (edfPolicy) Name() string { return "edf" }
+func (edfPolicy) Less(a, b *Queued, _ float64) bool {
+	if a.Job.DeadlineS != b.Job.DeadlineS {
+		return a.Job.DeadlineS < b.Job.DeadlineS
+	}
+	return a.Job.ID < b.Job.ID
+}
+
+type srptPolicy struct{}
+
+func (srptPolicy) Name() string { return "srpt" }
+func (srptPolicy) Less(a, b *Queued, _ float64) bool {
+	if a.Job.ServiceS != b.Job.ServiceS {
+		return a.Job.ServiceS < b.Job.ServiceS
+	}
+	return a.Job.ID < b.Job.ID
+}
+
+type hermodPolicy struct{}
+
+func (hermodPolicy) Name() string { return "hermod" }
+
+// score is the aging-discounted effective size; smaller places first.
+func (hermodPolicy) score(q *Queued, now float64) float64 {
+	wait := now - q.Job.ArriveS
+	if wait < 0 {
+		wait = 0
+	}
+	s := q.Job.ServiceS
+	return s * s / (s + wait)
+}
+
+func (p hermodPolicy) Less(a, b *Queued, now float64) bool {
+	sa, sb := p.score(a, now), p.score(b, now)
+	if sa != sb {
+		return sa < sb
+	}
+	return a.Job.ID < b.Job.ID
+}
+
+// Policies returns the built-in policies in canonical sweep order.
+func Policies() []Policy {
+	return []Policy{FIFO(), EDF(), SRPT(), Hermod()}
+}
+
+// PolicyNames returns the built-in policy ids in canonical sweep order.
+func PolicyNames() []string {
+	names := make([]string, 0, 4)
+	for _, p := range Policies() {
+		names = append(names, p.Name())
+	}
+	return names
+}
+
+// ParsePolicy converts a CLI/config string to a built-in Policy, or an
+// error naming the valid ids.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.Name() == s {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("schedule: unknown policy %q (valid: %s)",
+		s, strings.Join(PolicyNames(), ", "))
+}

@@ -146,6 +146,94 @@ func (t *Throughput) MeanGBps() float64 { return t.perEvent.Mean() / 1e9 }
 // Merge folds another throughput accumulator in.
 func (t *Throughput) Merge(other *Throughput) { t.perEvent.Merge(&other.perEvent) }
 
+// Digest is an exact percentile digest: it collects every sample and
+// serves interpolated quantiles from one deferred sort, so a report
+// that asks for P50, P99 and P999 of the same population pays for a
+// single O(n log n) pass instead of one per quantile (what repeated
+// Quantile calls would cost). Samples are exact, not sketched — the
+// tail percentiles of a queueing campaign are the headline metric and
+// must not carry sketch error. The zero value is ready to use. Not
+// safe for concurrent use.
+type Digest struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (d *Digest) Add(x float64) {
+	d.xs = append(d.xs, x)
+	d.sorted = false
+}
+
+// N returns the observation count.
+func (d *Digest) N() int { return len(d.xs) }
+
+// Quantile returns the q-quantile (0..1) by linear interpolation over
+// the sorted samples, or NaN when empty. The first call after an Add
+// sorts; subsequent calls are O(1) lookups.
+func (d *Digest) Quantile(q float64) float64 {
+	if len(d.xs) == 0 {
+		return math.NaN()
+	}
+	if !d.sorted {
+		sort.Float64s(d.xs)
+		d.sorted = true
+	}
+	if q <= 0 {
+		return d.xs[0]
+	}
+	if q >= 1 {
+		return d.xs[len(d.xs)-1]
+	}
+	pos := q * float64(len(d.xs)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(d.xs) {
+		return d.xs[lo]
+	}
+	return d.xs[lo]*(1-frac) + d.xs[lo+1]*frac
+}
+
+// P50, P99 and P999 are the campaign reports' tail quantiles.
+func (d *Digest) P50() float64  { return d.Quantile(0.50) }
+func (d *Digest) P99() float64  { return d.Quantile(0.99) }  // 99th percentile
+func (d *Digest) P999() float64 { return d.Quantile(0.999) } // 99.9th percentile
+
+// Max returns the largest observation (NaN when empty).
+func (d *Digest) Max() float64 { return d.Quantile(1) }
+
+// Mean returns the sample mean (NaN when empty).
+func (d *Digest) Mean() float64 {
+	if len(d.xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range d.xs {
+		sum += x
+	}
+	return sum / float64(len(d.xs))
+}
+
+// Jain computes Jain's fairness index (Σx)² / (n·Σx²) over a vector of
+// per-tenant allocations: 1.0 when every tenant receives the same
+// share, approaching 1/n as one tenant monopolizes. All-zero
+// allocations are perfectly equal, hence 1; the empty vector is
+// vacuously fair, also 1.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // Quantile computes the q-quantile (0..1) of a sample slice by linear
 // interpolation, used in reports; the input is not modified.
 func Quantile(xs []float64, q float64) float64 {

@@ -185,3 +185,82 @@ func TestPropertyMergeOrderInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDigestQuantiles(t *testing.T) {
+	var d Digest
+	// 1..1000 in scrambled order: exact interpolated quantiles are known.
+	for i := 0; i < 1000; i++ {
+		d.Add(float64((i*617)%1000 + 1))
+	}
+	if d.N() != 1000 {
+		t.Fatalf("n = %d", d.N())
+	}
+	if got := d.P50(); math.Abs(got-500.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 500.5", got)
+	}
+	if got := d.P99(); math.Abs(got-990.01) > 1e-9 {
+		t.Fatalf("p99 = %v, want 990.01", got)
+	}
+	if got := d.P999(); math.Abs(got-999.001) > 1e-9 {
+		t.Fatalf("p999 = %v, want 999.001", got)
+	}
+	if got := d.Max(); got != 1000 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := d.Mean(); math.Abs(got-500.5) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Digest quantiles must agree exactly with the one-shot helper.
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	var d2 Digest
+	for _, x := range xs {
+		d2.Add(x)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a, b := d2.Quantile(q), Quantile(xs, q); a != b {
+			t.Fatalf("Digest.Quantile(%v) = %v, Quantile = %v", q, a, b)
+		}
+	}
+}
+
+func TestDigestAddAfterQuantileResorts(t *testing.T) {
+	var d Digest
+	d.Add(10)
+	d.Add(20)
+	if got := d.P50(); got != 15 {
+		t.Fatalf("p50 = %v", got)
+	}
+	d.Add(0) // arrives below the sorted prefix
+	if got := d.Quantile(0); got != 0 {
+		t.Fatalf("min after late Add = %v, want 0", got)
+	}
+}
+
+func TestDigestEmpty(t *testing.T) {
+	var d Digest
+	for _, got := range []float64{d.P50(), d.P999(), d.Mean(), d.Max()} {
+		if !math.IsNaN(got) {
+			t.Fatalf("empty digest returned %v, want NaN", got)
+		}
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if got := Jain([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal shares: %v, want 1", got)
+	}
+	// One tenant monopolizes: index collapses toward 1/n.
+	if got := Jain([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("monopoly: %v, want 0.25", got)
+	}
+	// Textbook example: (1+2+3)² / (3·(1+4+9)) = 36/42.
+	if got := Jain([]float64{1, 2, 3}); math.Abs(got-36.0/42.0) > 1e-12 {
+		t.Fatalf("1,2,3: %v, want %v", got, 36.0/42.0)
+	}
+	if got := Jain(nil); got != 1 {
+		t.Fatalf("empty: %v, want 1 (vacuously fair)", got)
+	}
+	if got := Jain([]float64{0, 0}); got != 1 {
+		t.Fatalf("all-zero: %v, want 1", got)
+	}
+}

@@ -1,0 +1,52 @@
+package simaibench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCampaignFacadeSinglePoint drives the library path end to end:
+// generate a job stream, check the policy vocabulary, run one cell.
+func TestCampaignFacadeSinglePoint(t *testing.T) {
+	cfg := LoadConfig{Seed: 3, RatePerS: 0.5, Jobs: 50, Tenants: 4,
+		Classes: DefaultJobClasses()}
+	jobs, err := GenerateJobs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 50 {
+		t.Fatalf("%d jobs", len(jobs))
+	}
+	names := SchedulePolicyNames()
+	if len(names) != 4 {
+		t.Fatalf("policies: %v", names)
+	}
+	for _, n := range names {
+		if _, err := ParseSchedulePolicy(n); err != nil {
+			t.Errorf("ParseSchedulePolicy(%q): %v", n, err)
+		}
+	}
+	pt, err := RunCampaignChecked(CampaignConfig{Load: 0.7, Policy: "hermod", Jobs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Completed != 100 || pt.Util <= 0 {
+		t.Fatalf("point: %+v", pt)
+	}
+}
+
+// TestCampaignScenarioThroughFacade runs the registered scenario via
+// RunScenario with narrowed params, as library users would.
+func TestCampaignScenarioThroughFacade(t *testing.T) {
+	res, err := RunScenario(context.Background(), "campaign",
+		ScenarioParams{Jobs: 80, Rate: 0.9, Policy: "srpt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 || len(res.Tables[0].Rows) != 1 {
+		t.Fatalf("unexpected result shape: %d tables", len(res.Tables))
+	}
+	if len(CampaignLoads()) == 0 {
+		t.Fatal("no default loads")
+	}
+}
