@@ -1,0 +1,46 @@
+package costmodel
+
+import (
+	"math"
+
+	"simaibench/internal/datastore"
+)
+
+// Cross-LP lookahead tagging for the parallel DES engine (des.LPSet).
+// When the experiment harnesses partition the node space into per-node-
+// block logical processes, the only candidate cross-LP edges are the
+// model's shared serialization points: the Lustre MDS/OST queues and
+// the multi-tenant Redis/Dragon service-slot queues. Everything else —
+// the per-node exchange buses, cache/window effects, the in-memory
+// transfer chains — is node-private state that partitions cleanly.
+//
+// The shared queues are des.Resources whose grant handoffs occur at the
+// releaser's current time: their modeled minimum cross-LP latency is 0.
+// A zero lookahead leaves no window in which LPs could safely run
+// ahead, so any backend that routes through a shared queue forces the
+// engine's sequential fallback; the backends with no cross-LP edges at
+// all report +Inf and run embarrassingly parallel.
+
+// LPLookaheadS reports the minimum modeled latency of backend b's
+// cross-LP operations under per-node-block partitioning: +Inf when b
+// touches only node-private resources (no cross-LP edges — LPs may run
+// fully in parallel), 0 when b serializes through a shared queue whose
+// grants carry no modeled delay (forcing the sequential fallback).
+// shared selects the multi-tenant deployment mode (the scale-out
+// harness), where Redis and Dragon gain a shared service-slot queue.
+func LPLookaheadS(b datastore.Backend, shared bool) float64 {
+	if b == datastore.FileSystem {
+		return 0 // every transfer queues on the one MDS and OST pool
+	}
+	if shared && datastore.SharedDeployment(b) {
+		return 0 // multi-tenant service slots serialize all tenants
+	}
+	return math.Inf(1) // node-local buses only: no cross-LP edges
+}
+
+// LPLookaheadS is the model-bound form of the package function,
+// reporting the cross-LP lookahead this model's resources impose on a
+// partitioned run of backend b.
+func (m *Model) LPLookaheadS(b datastore.Backend, shared bool) float64 {
+	return LPLookaheadS(b, shared)
+}

@@ -73,8 +73,11 @@ type Env struct {
 	stopped bool
 
 	// Run guardrails (see guard.go). guarded mirrors guard.enabled() so
-	// the healthy hot path pays one predictable branch per event.
+	// the healthy hot path pays one predictable branch per event. shared
+	// is the joint cross-LP event budget of a partitioned run (nil
+	// outside LPSet runs).
 	guard    Guard
+	shared   *SharedGuard
 	guarded  bool
 	executed int64
 	guardErr error
@@ -185,22 +188,69 @@ func (e *Env) RunUntil(until float64) float64 {
 		if e.q[0].t > until {
 			break
 		}
-		if e.guarded && e.checkGuard(e.q[0].t) {
+		if !e.execNext() {
 			break
-		}
-		e.executed++
-		ev := e.pop()
-		e.now = ev.t
-		switch ev.kind {
-		case evFunc:
-			ev.fn()
-		case evResume:
-			e.transfer(ev.proc, ev.val)
-		case evCall:
-			ev.cb(ev.val)
 		}
 	}
 	return e.now
+}
+
+// RunBefore executes events with time strictly below limit — the
+// window-execution primitive of the conservative parallel engine
+// (LPSet): a window [floor, floor+lookahead) must exclude its upper
+// bound, because a cross-LP message can still arrive exactly at it.
+func (e *Env) RunBefore(limit float64) float64 {
+	for len(e.q) > 0 && !e.stopped {
+		if e.q[0].t >= limit {
+			break
+		}
+		if !e.execNext() {
+			break
+		}
+	}
+	return e.now
+}
+
+// NextT peeks at the earliest pending event time; ok is false when the
+// queue is empty.
+func (e *Env) NextT() (t float64, ok bool) {
+	if len(e.q) == 0 {
+		return 0, false
+	}
+	return e.q[0].t, true
+}
+
+// stepOne executes exactly one event (the earliest pending), honoring
+// the guard; it reports false when the queue is empty, the env is
+// stopped, or the guard tripped. It is the primitive of the LPSet
+// zero-lookahead fallback loop, which interleaves single steps across
+// LPs in global (t, LP index) order.
+func (e *Env) stepOne() bool {
+	if len(e.q) == 0 || e.stopped {
+		return false
+	}
+	return e.execNext()
+}
+
+// execNext pops and runs the earliest queued event, honoring the
+// guard. It reports false when the guard tripped (the event stays
+// queued and the guard error is recorded for Err).
+func (e *Env) execNext() bool {
+	if e.guarded && e.checkGuard(e.q[0].t) {
+		return false
+	}
+	e.executed++
+	ev := e.pop()
+	e.now = ev.t
+	switch ev.kind {
+	case evFunc:
+		ev.fn()
+	case evResume:
+		e.transfer(ev.proc, ev.val)
+	case evCall:
+		ev.cb(ev.val)
+	}
+	return true
 }
 
 // Stop halts the run loop after the current event completes. Queued events

@@ -1,0 +1,314 @@
+package des
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// tickMachine is a minimal periodic workload: fire every period, record
+// the firing time, stop after count fires. Identical schedule calls on
+// any Env, so single-env and partitioned runs are directly comparable.
+type tickMachine struct {
+	env    *Env
+	period float64
+	count  int
+	times  []float64
+	fire   func()
+}
+
+func newTickMachine(env *Env, start, period float64, count int) *tickMachine {
+	m := &tickMachine{env: env, period: period, count: count}
+	m.fire = func() {
+		m.times = append(m.times, m.env.Now())
+		if len(m.times) < m.count {
+			m.env.After(m.period, m.fire)
+		}
+	}
+	env.At(start, m.fire)
+	return m
+}
+
+// TestLPIndependentMatchesSingleEnv: machines with no cross-LP edges
+// produce identical per-machine firing times whether they share one Env
+// or run as separate LPs, at any worker count.
+func TestLPIndependentMatchesSingleEnv(t *testing.T) {
+	build := func(envOf func(i int) *Env) []*tickMachine {
+		ms := make([]*tickMachine, 6)
+		for i := range ms {
+			ms[i] = newTickMachine(envOf(i), 0.1*float64(i), 0.25+0.01*float64(i), 20+i)
+		}
+		return ms
+	}
+	ref := NewEnv()
+	refMs := build(func(int) *Env { return ref })
+	refEnd := ref.RunUntil(1e6)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		set := NewLPSet(6)
+		ms := build(func(i int) *Env { return set.Env(i) })
+		end := set.Run(workers, 1e6)
+		if end != refEnd {
+			t.Errorf("workers=%d: end=%v, sequential %v", workers, end, refEnd)
+		}
+		if got, want := set.Executed(), ref.Executed(); got != want {
+			t.Errorf("workers=%d: executed %d, sequential %d", workers, got, want)
+		}
+		for i := range ms {
+			if !reflect.DeepEqual(ms[i].times, refMs[i].times) {
+				t.Errorf("workers=%d: machine %d trace diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestLPWindowedSendMatchesSingleEnv: a cross-LP ping-pong under a
+// positive lookahead reproduces the single-env trace exactly, for any
+// worker count.
+func TestLPWindowedSendMatchesSingleEnv(t *testing.T) {
+	const look = 0.05
+	const rounds = 40
+	type world struct {
+		env  func(i int) *Env
+		send func(src, dst int, delay float64, fn func())
+	}
+	// Two machines ping-pong: each receipt records the time and replies
+	// after delay >= look, with local chatter between receipts.
+	build := func(w world) [][]float64 {
+		traces := make([][]float64, 2)
+		var hop func(at, from int)
+		hop = func(dst, from int) {
+			traces[dst] = append(traces[dst], w.env(dst).Now())
+			if len(traces[0])+len(traces[1]) < rounds {
+				// Local chatter on the receiving side.
+				w.env(dst).After(0.01, func() {})
+				w.send(dst, from, look+0.02, func() { hop(from, dst) })
+			}
+		}
+		w.env(0).At(0.1, func() { hop(0, 1) })
+		return traces
+	}
+
+	ref := NewEnv()
+	refTraces := build(world{
+		env:  func(int) *Env { return ref },
+		send: func(_, _ int, delay float64, fn func()) { ref.After(delay, fn) },
+	})
+	ref.RunUntil(1e6)
+
+	for _, workers := range []int{1, 2, 4} {
+		set := NewLPSet(2)
+		set.Connect(0, 1, look)
+		set.Connect(1, 0, look)
+		if set.SequentialFallback() {
+			t.Fatal("positive lookahead should not force the fallback")
+		}
+		traces := build(world{env: set.Env, send: set.Send})
+		set.Run(workers, 1e6)
+		if !reflect.DeepEqual(traces, refTraces) {
+			t.Errorf("workers=%d: ping-pong trace diverged: %v vs %v", workers, traces, refTraces)
+		}
+	}
+}
+
+// TestLPZeroLookaheadFallback: a zero-latency link forces the
+// sequential merged loop, which still reproduces the single-env trace —
+// including same-time cross-LP delivery, impossible under windows.
+func TestLPZeroLookaheadFallback(t *testing.T) {
+	set := NewLPSet(2)
+	set.Connect(0, 1, 0)
+	if !set.SequentialFallback() {
+		t.Fatal("zero lookahead must force the sequential fallback")
+	}
+	if set.Lookahead() != 0 {
+		t.Fatalf("lookahead = %v", set.Lookahead())
+	}
+
+	var got []float64
+	rec := func() { got = append(got, set.Env(1).Now()) }
+	// LP0 sends zero-delay messages to LP1 while LP1 also runs local work
+	// at the same instants.
+	for _, at := range []float64{0.5, 1.0, 1.5} {
+		at := at
+		set.Env(1).At(at, rec)
+		set.Env(0).At(at, func() { set.Send(0, 1, 0, rec) })
+	}
+	end := set.Run(4, 10)
+	want := []float64{0.5, 0.5, 1.0, 1.0, 1.5, 1.5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fallback trace %v, want %v", got, want)
+	}
+	if end != 1.5 {
+		t.Errorf("end = %v, want 1.5", end)
+	}
+}
+
+// TestLPConnectKeepsMinimum: duplicate edges keep the smaller latency
+// and the global lookahead tracks the minimum over all links.
+func TestLPConnectKeepsMinimum(t *testing.T) {
+	set := NewLPSet(3)
+	set.Connect(0, 1, 0.5)
+	set.Connect(1, 2, 0.2)
+	if set.Lookahead() != 0.2 {
+		t.Fatalf("lookahead = %v, want 0.2", set.Lookahead())
+	}
+	set.Connect(0, 1, 0.1)
+	if set.Lookahead() != 0.1 {
+		t.Fatalf("lookahead after re-connect = %v, want 0.1", set.Lookahead())
+	}
+	// Raising an existing edge must not loosen the bound.
+	set.Connect(0, 1, 5)
+	if set.Lookahead() != 0.1 {
+		t.Fatalf("lookahead after looser re-connect = %v, want 0.1", set.Lookahead())
+	}
+	mustPanic(t, "send below lookahead", func() {
+		set.Env(0).At(0, func() { set.Send(0, 1, 0.05, func() {}) })
+		set.Run(1, 1)
+	})
+}
+
+// TestLPSendContract: the conservative contract is enforced by panics —
+// undeclared edges, delays below the link latency, self-links, invalid
+// lookaheads and out-of-range LP indices.
+func TestLPSendContract(t *testing.T) {
+	set := NewLPSet(2)
+	set.Connect(0, 1, 0.1)
+	mustPanic(t, "undeclared link", func() { set.Send(1, 0, 1, func() {}) })
+	mustPanic(t, "self link", func() { set.Connect(0, 0, 1) })
+	mustPanic(t, "negative lookahead", func() { set.Connect(0, 1, -1) })
+	mustPanic(t, "NaN lookahead", func() { set.Connect(0, 1, math.NaN()) })
+	mustPanic(t, "LP out of range", func() { set.Connect(0, 7, 1) })
+	mustPanic(t, "empty set", func() { NewLPSet(0) })
+	mustPanic(t, "bad budget", func() { NewSharedGuard(0) })
+}
+
+// TestLPSharedGuardBudget: MaxEvents on an LPSet is enforced globally
+// across LPs, and the structured error matches what a sequential Env
+// reports for the same budget — same Guard, same Events.
+func TestLPSharedGuardBudget(t *testing.T) {
+	const budget = 25
+	build := func(envOf func(i int) *Env) {
+		for i := 0; i < 4; i++ {
+			newTickMachine(envOf(i), 0.1*float64(i), 0.25, 1000)
+		}
+	}
+
+	ref := NewEnv()
+	ref.SetGuard(Guard{MaxEvents: budget})
+	build(func(int) *Env { return ref })
+	ref.RunUntil(1e6)
+	var refErr *BudgetExceeded
+	if !errors.As(ref.Err(), &refErr) {
+		t.Fatalf("sequential run did not trip: %v", ref.Err())
+	}
+
+	for _, workers := range []int{1, 4} {
+		set := NewLPSet(4)
+		set.SetSharedGuard(NewSharedGuard(budget))
+		build(func(i int) *Env { return set.Env(i) })
+		set.Run(workers, 1e6)
+		var lpErr *BudgetExceeded
+		if !errors.As(set.Err(), &lpErr) {
+			t.Fatalf("workers=%d: parallel run did not trip: %v", workers, set.Err())
+		}
+		if lpErr.Guard != refErr.Guard || lpErr.Events != refErr.Events {
+			t.Errorf("workers=%d: BudgetExceeded{Guard:%+v Events:%d}, sequential {Guard:%+v Events:%d}",
+				workers, lpErr.Guard, lpErr.Events, refErr.Guard, refErr.Events)
+		}
+		if got := set.Executed(); got != budget {
+			t.Errorf("workers=%d: executed %d events across LPs, budget %d", workers, got, budget)
+		}
+	}
+}
+
+// TestLPSharedGuardUnderWindows: the joint budget also trips mid-window
+// on the parallel path (positive lookahead), not just in the fallback.
+func TestLPSharedGuardUnderWindows(t *testing.T) {
+	const budget = 30
+	set := NewLPSet(2)
+	set.Connect(0, 1, 0.5)
+	set.Connect(1, 0, 0.5)
+	set.SetSharedGuard(NewSharedGuard(budget))
+	newTickMachine(set.Env(0), 0, 0.1, 1000)
+	newTickMachine(set.Env(1), 0.05, 0.1, 1000)
+	set.Run(4, 1e6)
+	var be *BudgetExceeded
+	if !errors.As(set.Err(), &be) {
+		t.Fatalf("windowed run did not trip: %v", set.Err())
+	}
+	if be.Events != budget || set.Executed() != budget {
+		t.Errorf("Events=%d executed=%d, want both %d", be.Events, set.Executed(), budget)
+	}
+}
+
+// TestLPShareGuardSurvivesSetGuard: installing a per-env Guard after a
+// shared budget is attached must not disarm the shared budget.
+func TestLPShareGuardSurvivesSetGuard(t *testing.T) {
+	env := NewEnv()
+	env.ShareGuard(NewSharedGuard(3))
+	env.SetGuard(Guard{}) // zero guard: no per-env limits
+	newTickMachine(env, 0, 0.1, 100)
+	env.RunUntil(1e6)
+	var be *BudgetExceeded
+	if !errors.As(env.Err(), &be) {
+		t.Fatalf("shared budget disarmed by SetGuard: %v", env.Err())
+	}
+	if be.Events != 3 {
+		t.Errorf("Events = %d, want 3", be.Events)
+	}
+}
+
+// TestLPPanicPropagation: a panic inside any LP's window surfaces from
+// Run on the calling goroutine, at every worker count, so callers'
+// recover-based isolation keeps working.
+func TestLPPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		set := NewLPSet(4)
+		for i := 0; i < 4; i++ {
+			newTickMachine(set.Env(i), 0, 0.1, 50)
+		}
+		set.Env(2).At(1.0, func() { panic("lp boom") })
+		func() {
+			defer func() {
+				if r := recover(); r != "lp boom" {
+					t.Errorf("workers=%d: recovered %v, want \"lp boom\"", workers, r)
+				}
+			}()
+			set.Run(workers, 1e6)
+			t.Errorf("workers=%d: Run returned instead of panicking", workers)
+		}()
+	}
+}
+
+// TestLPRunHonorsHorizon: Run's until bound is inclusive like
+// Env.RunUntil, and events past it stay queued.
+func TestLPRunHonorsHorizon(t *testing.T) {
+	set := NewLPSet(2)
+	m0 := newTickMachine(set.Env(0), 1, 1, 100)
+	m1 := newTickMachine(set.Env(1), 0.5, 1, 100)
+	end := set.Run(4, 3)
+	if end != 3 {
+		t.Errorf("end = %v, want 3 (inclusive bound)", end)
+	}
+	if got := len(m0.times) + len(m1.times); got != 6 {
+		t.Errorf("fired %d events by t=3, want 6", got)
+	}
+	if set.Env(0).Pending() == 0 || set.Env(1).Pending() == 0 {
+		t.Error("events past the horizon should remain queued")
+	}
+	set.Shutdown()
+	if set.Env(0).Pending() != 0 || set.Env(1).Pending() != 0 {
+		t.Error("Shutdown should drop queued events")
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	f()
+}

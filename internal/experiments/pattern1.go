@@ -45,6 +45,12 @@ type Pattern1Config struct {
 	// MaxEvents caps the DES events the run may execute (0 = unlimited);
 	// RunPattern1Checked surfaces the budget trip as an error.
 	MaxEvents int64
+	// Workers selects the parallel DES engine: with Workers > 1 the run
+	// partitions into one logical process per node (des.LPSet) advanced
+	// by up to that many cores, when the backend has no cross-LP edges
+	// (costmodel.LPLookaheadS = +Inf); zero-lookahead backends keep the
+	// sequential engine. Results are bit-identical to Workers <= 1.
+	Workers int
 	// Params overrides the cost-model constants (zero value = Default).
 	Params *costmodel.Params
 }
@@ -104,6 +110,9 @@ func RunPattern1(cfg Pattern1Config) Pattern1Point {
 // never fails.
 func RunPattern1Checked(cfg Pattern1Config) (Pattern1Point, error) {
 	cfg = cfg.withDefaults()
+	if lpEligible(cfg.Workers, cfg.Nodes, costmodel.LPLookaheadS(cfg.Backend, false)) {
+		return runPattern1LP(cfg)
+	}
 	spec := cluster.Aurora(cfg.Nodes)
 	place := cluster.Pattern1Placement(spec)
 	env := newGuardedEnv(cfg.MaxEvents)

@@ -180,7 +180,7 @@ func runFig3Scenario(ctx context.Context, p scenario.Params) (*scenario.Result, 
 			func(b datastore.Backend, size float64) (Pattern1Point, error) {
 				return RunPattern1Checked(Pattern1Config{
 					Nodes: nodes, Backend: b, SizeMB: size,
-					TrainIters: p.SweepIters, MaxEvents: p.MaxEvents,
+					TrainIters: p.SweepIters, MaxEvents: p.MaxEvents, Workers: p.Workers,
 				})
 			})
 		if err != nil {
@@ -200,7 +200,7 @@ func runFig4Scenario(ctx context.Context, p scenario.Params) (*scenario.Result, 
 			func(b datastore.Backend, size float64) (Pattern1Point, error) {
 				return RunPattern1Checked(Pattern1Config{
 					Nodes: nodes, Backend: b, SizeMB: size,
-					TrainIters: p.SweepIters, MaxEvents: p.MaxEvents,
+					TrainIters: p.SweepIters, MaxEvents: p.MaxEvents, Workers: p.Workers,
 				})
 			})
 		if err != nil {

@@ -83,6 +83,12 @@ type Params struct {
 	// execute (0 = unlimited); a runaway cell aborts with a structured
 	// budget error instead of looping forever.
 	MaxEvents int64 `json:"max_events,omitempty"`
+	// Workers selects the parallel DES engine for the simulated-scale
+	// cells that support it (fig3/fig4/scale-out): with Workers > 1 each
+	// cell partitions into logical processes advanced by up to that many
+	// cores (des.LPSet); 0 or 1 keeps the sequential engine. Metrics are
+	// bit-identical for every value — Workers only trades wall-clock.
+	Workers int `json:"workers,omitempty"`
 }
 
 // Guardrails converts the params' per-cell guardrail knobs into the
@@ -141,6 +147,9 @@ func (p Params) merge(d Params) Params {
 	}
 	if p.MaxEvents == 0 {
 		p.MaxEvents = d.MaxEvents
+	}
+	if p.Workers == 0 {
+		p.Workers = d.Workers
 	}
 	return p
 }
