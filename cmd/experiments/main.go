@@ -35,12 +35,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strings"
 
 	"simaibench/internal/clock"
 	"simaibench/internal/experiments" // registers the paper's scenarios
 	"simaibench/internal/scenario"
+	"simaibench/internal/sigctx"
 	"simaibench/internal/sweep"
 )
 
@@ -221,14 +221,10 @@ func run(ctx context.Context, exp, format, outPath string, params scenario.Param
 	}
 
 	// Ctrl-C cancels the in-flight scenario instead of killing the
-	// process mid-write; stop() restores default signal handling as soon
+	// process mid-write; sigctx restores default signal handling as soon
 	// as the first interrupt lands, so a second Ctrl-C kills outright.
-	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	sigCtx, stop := sigctx.WithSignals(ctx)
 	defer stop()
-	go func() {
-		<-sigCtx.Done()
-		stop()
-	}()
 
 	// Scenarios sharing this run share one validation measurement per
 	// configuration (table2/table3/fig2 in -exp all).

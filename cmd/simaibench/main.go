@@ -10,6 +10,12 @@
 //	    -train-iters 500 -payload-mb 1.2 -time-scale 0.01
 //
 // Omitting -sim/-ai uses the built-in nekRS-ML emulation configs.
+//
+// The serve subcommand runs the simulation service instead (HTTP/JSON
+// API over the scenario registry with caching, admission control and
+// graceful shutdown — see internal/serve):
+//
+//	simaibench serve -addr :8080
 package main
 
 import (
@@ -48,6 +54,12 @@ const builtinAIConfig = `{
 }`
 
 func main() {
+	// Subcommand dispatch: `simaibench serve` is the long-running
+	// simulation service; everything else is the original flag-driven
+	// one-shot workflow run.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(serveMain(context.Background(), os.Args[2:], os.Stderr))
+	}
 	backendFlag := flag.String("backend", "node-local", "data transport backend: redis|dragon|node-local|filesystem")
 	simPath := flag.String("sim", "", "simulation component config JSON (default: built-in nekRS emulation)")
 	aiPath := flag.String("ai", "", "AI component config JSON (default: built-in trainer)")

@@ -25,6 +25,8 @@ var docCheckedPackages = []string{
 	"internal/cluster",
 	"internal/loadgen",
 	"internal/schedule",
+	"internal/serve",
+	"internal/sigctx",
 	"pkg/simaibench",
 }
 

@@ -1,0 +1,148 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The canonicalization contract: semantically equal Params must produce
+// identical canonical bytes and therefore identical cache keys, whether
+// the caller spelled scenario defaults out explicitly or left them zero,
+// and regardless of the JSON key order a request body arrived in.
+
+func TestCanonicalParamsRoundTrip(t *testing.T) {
+	defaults := Params{SweepIters: 600, Tenants: 16, Clock: "virtual", TimeScale: 0.01}
+	p := Params{SweepIters: 100, Rate: 1.2, Policy: "srpt"}
+
+	canon, err := CanonicalParams(p, defaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip: the canonical bytes decode back to exactly the merged
+	// params.
+	var back Params
+	if err := json.Unmarshal(canon, &back); err != nil {
+		t.Fatalf("canonical bytes do not parse as JSON: %v\n%s", err, canon)
+	}
+	want := p.merge(defaults)
+	if back != want {
+		t.Fatalf("round-trip = %+v, want merged %+v", back, want)
+	}
+	// Stability: re-canonicalizing the round-tripped params reproduces
+	// the identical bytes.
+	again, err := CanonicalParams(back, defaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canon, again) {
+		t.Fatalf("canonical form not stable:\n%s\n%s", canon, again)
+	}
+}
+
+func TestCanonicalParamsExplicitAndSorted(t *testing.T) {
+	canon, err := CanonicalParams(Params{}, Params{SweepIters: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every field is explicit: zero-valued fields appear rather than
+	// being omitempty-elided, so "left blank" and "spelled out at zero"
+	// canonicalize identically.
+	var m map[string]any
+	if err := json.Unmarshal(canon, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"sweep_iters", "train_iters", "timeout_s", "max_events", "clock", "workers"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("canonical form missing explicit field %q:\n%s", key, canon)
+		}
+	}
+	// Keys appear in sorted order in the serialized bytes.
+	var keys []string
+	dec := json.NewDecoder(bytes.NewReader(canon))
+	dec.Token() // {
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k, ok := tok.(string); ok {
+			keys = append(keys, k)
+			var discard any
+			if err := dec.Decode(&discard); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("canonical keys not sorted: %q before %q\n%s", keys[i-1], keys[i], canon)
+		}
+	}
+}
+
+// Two semantically equal parameter sets — one leaving scenario defaults
+// implicit, one spelling every default out — must hash to the same key;
+// different effective params, or a different seed, must not.
+func TestCacheKeyStability(t *testing.T) {
+	defaults := Params{SweepIters: 600, Tenants: 16, Clock: "virtual"}
+
+	implicit := Params{Rate: 0.7}
+	explicit := Params{Rate: 0.7, SweepIters: 600, Tenants: 16, Clock: "virtual"}
+
+	k1, err := CacheKey("campaign", implicit, defaults, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := CacheKey("campaign", explicit, defaults, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("semantically equal params split the cache: %s vs %s", k1, k2)
+	}
+
+	k3, _ := CacheKey("campaign", Params{Rate: 1.2}, defaults, 42)
+	if k3 == k1 {
+		t.Error("different rate collides with the same key")
+	}
+	k4, _ := CacheKey("campaign", implicit, defaults, 43)
+	if k4 == k1 {
+		t.Error("different seed collides with the same key")
+	}
+	k5, _ := CacheKey("scale-out", implicit, defaults, 42)
+	if k5 == k1 {
+		t.Error("different scenario collides with the same key")
+	}
+	if len(k1) != 64 || strings.ToLower(k1) != k1 {
+		t.Errorf("key %q is not lowercase hex sha-256", k1)
+	}
+}
+
+// A request body's JSON key order must not affect the key: two
+// orderings of the same document decode to the same Params and
+// therefore the same canonical bytes — the decode-then-canonicalize
+// discipline that keeps map-ordering out of the cache key.
+func TestCacheKeyInvariantUnderJSONKeyOrder(t *testing.T) {
+	defaults := Params{SweepIters: 600}
+	bodies := []string{
+		`{"sweep_iters": 100, "rate": 1.2, "policy": "srpt"}`,
+		`{"policy": "srpt", "rate": 1.2, "sweep_iters": 100}`,
+	}
+	var keys []string
+	for _, body := range bodies {
+		var p Params
+		if err := json.Unmarshal([]byte(body), &p); err != nil {
+			t.Fatal(err)
+		}
+		k, err := CacheKey("campaign", p, defaults, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	if keys[0] != keys[1] {
+		t.Errorf("JSON key order split the cache: %s vs %s", keys[0], keys[1])
+	}
+}

@@ -143,6 +143,35 @@ func (t Table) MarshalJSON() ([]byte, error) {
 	}{t.Title, keys, rows})
 }
 
+// UnmarshalJSON inverts MarshalJSON so JSON results round-trip (the
+// serving client depends on this). The text-layout fmt verbs are not
+// part of the wire shape, so decoded Columns carry keys only and
+// numeric cells come back as float64.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var aux struct {
+		Title   string           `json:"title"`
+		Text    string           `json:"text"`
+		Columns []string         `json:"columns"`
+		Rows    []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	t.Title, t.Text = aux.Title, aux.Text
+	t.Columns, t.Rows = nil, nil
+	for _, k := range aux.Columns {
+		t.Columns = append(t.Columns, Column{Key: k})
+	}
+	for _, rec := range aux.Rows {
+		row := make([]any, len(aux.Columns))
+		for j, k := range aux.Columns {
+			row[j] = rec[k]
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return nil
+}
+
 type jsonReporter struct{}
 
 func (jsonReporter) Report(w io.Writer, results []*Result) error {

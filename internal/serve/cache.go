@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: a bounded LRU from
+// cache key (scenario.CacheKey) to the fully rendered response body.
+// Bodies are stored as serialized bytes, so a cache hit is one map
+// lookup plus one write — no re-marshalling — and a hot and a cold
+// response for the same key are byte-identical by construction.
+//
+// The bound matters as much as the mapping: a serving process fed an
+// unbounded stream of distinct cells must not grow without limit, so
+// insertion beyond capacity evicts the least-recently-used entry.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List               // front = most recently used
+	entries map[string]*list.Element // key → element whose Value is *cacheEntry
+	// evictions counts entries dropped at capacity, surfaced by /statz.
+	evictions int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache returns an LRU bounded at capacity entries; capacity
+// < 1 disables caching entirely (every Get misses, every Put is
+// dropped), which is what a wall-clock-mode deployment would configure.
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body for key and refreshes its recency.
+// The returned slice is shared — callers must not mutate it.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting the least-recently-used entry
+// when the cache is at capacity. Re-putting an existing key refreshes
+// its body and recency without growing the cache.
+func (c *resultCache) Put(key string, body []byte) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.entries) >= c.cap {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+}
+
+// Len returns the number of cached entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Evictions returns the number of entries evicted at capacity.
+func (c *resultCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

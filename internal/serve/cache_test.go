@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The result cache's bound is a robustness property: a serving process
+// fed an endless stream of distinct cells must stay at its configured
+// size, evicting least-recently-used entries rather than growing.
+
+func TestCacheLRUBasics(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if got, ok := c.Get("a"); !ok || string(got) != "A" {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	// a was just used, so inserting c evicts b.
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatalf("b survived eviction; LRU order not honoured")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatalf("a (recently used) was evicted")
+	}
+	if c.Len() != 2 || c.Evictions() != 1 {
+		t.Fatalf("len %d evictions %d, want 2 and 1", c.Len(), c.Evictions())
+	}
+	// Re-putting an existing key refreshes without growing.
+	c.Put("a", []byte("A2"))
+	if got, _ := c.Get("a"); string(got) != "A2" {
+		t.Fatalf("re-put did not refresh body: %q", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("re-put grew the cache to %d", c.Len())
+	}
+}
+
+func TestCacheChurnStaysBounded(t *testing.T) {
+	const capacity, churn = 64, 10_000
+	c := newResultCache(capacity)
+	for i := 0; i < churn; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), []byte{byte(i)})
+		if n := c.Len(); n > capacity {
+			t.Fatalf("after %d puts the cache holds %d entries (bound %d)", i+1, n, capacity)
+		}
+	}
+	if c.Len() != capacity {
+		t.Fatalf("steady-state len %d, want %d", c.Len(), capacity)
+	}
+	if want := int64(churn - capacity); c.Evictions() != want {
+		t.Fatalf("evictions %d, want %d", c.Evictions(), want)
+	}
+	// The survivors are exactly the most recent `capacity` keys.
+	for i := churn - capacity; i < churn; i++ {
+		if _, ok := c.Get(fmt.Sprintf("key-%d", i)); !ok {
+			t.Fatalf("recent key-%d missing after churn", i)
+		}
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.Put("a", []byte("A"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatalf("disabled cache served a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled cache holds %d entries", c.Len())
+	}
+}

@@ -1,0 +1,68 @@
+package serve
+
+import "sync"
+
+// The singleflight layer: at most one underlying simulation per cache
+// key is ever in flight. A stampede of identical requests — the shape a
+// popular sweep cell produces under real traffic — joins the one
+// existing flight and every caller receives the same serialized body
+// when it lands, so N concurrent identical requests cost exactly one
+// simulation.
+//
+// Flights are deliberately NOT tied to any caller's context: the run
+// executes under the server's lifecycle context, so one impatient
+// client cancelling its request cannot cancel the shared run the other
+// joiners (and the cache) are waiting on. Even a flight whose every
+// caller has gone away completes and populates the cache — the work was
+// already admitted and paid for.
+
+// flight is one in-flight computation of a cache key. done is closed
+// exactly once, after body/err are set; waiters read them only after
+// observing the close.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// flightGroup deduplicates in-flight computations by key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// join returns the flight for key, creating it when none exists.
+// joined reports whether an existing flight was joined (true) or this
+// caller is the leader responsible for admitting and completing the
+// new flight (false).
+func (g *flightGroup) join(key string) (f *flight, joined bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		return f, true
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, false
+}
+
+// complete publishes the flight's outcome, wakes every waiter, and
+// removes the key so later requests start fresh (or hit the cache the
+// leader populated).
+func (g *flightGroup) complete(key string, f *flight, body []byte, err error) {
+	f.body, f.err = body, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+}
+
+// inFlight returns the number of keys currently being computed.
+func (g *flightGroup) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"simaibench/internal/clock"
+	"simaibench/internal/des"
+	"simaibench/internal/scenario"
+)
+
+// The serve tests do not import the experiments packages, so the global
+// registry is empty here and the suite registers its own test-only
+// scenarios (the saboteur pattern the guardrail tests use): a healthy
+// deterministic run, a run counter for dedup assertions, a slow run for
+// drain tests, and one misbehaving run per guardrail.
+
+var (
+	registerOnce sync.Once
+	// tCountRuns counts underlying executions of t-count — the
+	// singleflight assertions' ground truth.
+	tCountRuns atomic.Int64
+	// tSlowStarted receives one tick per t-slow run start, so drain tests
+	// can SIGTERM mid-run instead of racing the admission.
+	tSlowStarted = make(chan struct{}, 64)
+)
+
+// okResult builds a small deterministic Result echoing p.Rate.
+func okResult(name string, p scenario.Params) *scenario.Result {
+	return &scenario.Result{Scenario: name, Params: p, Tables: []scenario.Table{{
+		Title:   name,
+		Columns: []scenario.Column{{Key: "rate", Head: "rate", HeadFmt: "%8s", CellFmt: "%8.2f"}},
+		Rows:    [][]any{{p.Rate}},
+	}}}
+}
+
+// registerTestScenarios installs the suite's scenarios once per process.
+func registerTestScenarios() {
+	registerOnce.Do(func() {
+		scenario.Register(scenario.New("t-ok", "test: deterministic healthy run",
+			scenario.Params{Rate: 2},
+			func(_ context.Context, p scenario.Params) (*scenario.Result, error) {
+				return okResult("t-ok", p), nil
+			}))
+		scenario.Register(scenario.New("t-wall", "test: wall-clock run (uncacheable)",
+			scenario.Params{Rate: 1, Clock: clock.KindWall},
+			func(_ context.Context, p scenario.Params) (*scenario.Result, error) {
+				return okResult("t-wall", p), nil
+			}))
+		scenario.Register(scenario.New("t-count", "test: counts executions, briefly slow",
+			scenario.Params{Rate: 1},
+			func(ctx context.Context, p scenario.Params) (*scenario.Result, error) {
+				tCountRuns.Add(1)
+				select {
+				case <-time.After(50 * time.Millisecond):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				return okResult("t-count", p), nil
+			}))
+		scenario.Register(scenario.New("t-slow", "test: runs for TimelineWindowS seconds",
+			scenario.Params{Rate: 1, TimelineWindowS: 0.2},
+			func(ctx context.Context, p scenario.Params) (*scenario.Result, error) {
+				select {
+				case tSlowStarted <- struct{}{}:
+				default:
+				}
+				select {
+				case <-time.After(time.Duration(p.TimelineWindowS * float64(time.Second))):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				return okResult("t-slow", p), nil
+			}))
+		scenario.Register(scenario.New("t-panic", "test: panics on every run",
+			scenario.Params{Rate: 1},
+			func(context.Context, scenario.Params) (*scenario.Result, error) {
+				panic("t-panic: deliberate test panic")
+			}))
+		scenario.Register(scenario.New("t-budget", "test: trips the DES event budget",
+			scenario.Params{Rate: 1},
+			func(_ context.Context, p scenario.Params) (*scenario.Result, error) {
+				return nil, &des.BudgetExceeded{
+					Guard: des.Guard{MaxEvents: p.MaxEvents}, Events: p.MaxEvents, Now: 1,
+				}
+			}))
+		scenario.Register(scenario.New("t-stall", "test: reports a wedged virtual clock",
+			scenario.Params{Rate: 1},
+			func(context.Context, scenario.Params) (*scenario.Result, error) {
+				return nil, &clock.StallError{Joined: 2, Sleepers: 1, Idle: time.Second}
+			}))
+		scenario.Register(scenario.New("t-hang", "test: ignores nothing, sleeps on ctx",
+			scenario.Params{Rate: 1},
+			func(ctx context.Context, _ scenario.Params) (*scenario.Result, error) {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}))
+	})
+}
+
+// newTestServer builds a Server on cfg plus an httptest front end, and
+// registers cleanup that drains both.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	registerTestScenarios()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// paramsFromJSON decodes a raw params object, failing the test on error.
+func paramsFromJSON(t *testing.T, raw string) scenario.Params {
+	t.Helper()
+	var p scenario.Params
+	if err := json.Unmarshal([]byte(raw), &p); err != nil {
+		t.Fatalf("params %s: %v", raw, err)
+	}
+	return p
+}
+
+// postRun submits one raw /v1/run body and returns status, body, X-Cache.
+func postRun(t *testing.T, url string, body string) (int, []byte, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/run: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes(), resp.Header.Get("X-Cache")
+}
+
+func TestRunColdThenHotByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := `{"scenario":"t-ok","params":{"rate":7},"seed":1}`
+
+	st1, body1, tag1 := postRun(t, ts.URL, req)
+	if st1 != http.StatusOK || tag1 != "miss" {
+		t.Fatalf("cold: status %d X-Cache %q (want 200 miss): %s", st1, tag1, body1)
+	}
+	st2, body2, tag2 := postRun(t, ts.URL, req)
+	if st2 != http.StatusOK || tag2 != "hit" {
+		t.Fatalf("hot: status %d X-Cache %q (want 200 hit)", st2, tag2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("hot and cold bodies differ:\ncold: %s\nhot:  %s", body1, body2)
+	}
+
+	var rr RunResponse
+	if err := json.Unmarshal(body1, &rr); err != nil {
+		t.Fatalf("decoding body: %v", err)
+	}
+	if rr.Scenario != "t-ok" || rr.Result == nil || len(rr.Key) != 64 {
+		t.Fatalf("unexpected response: scenario %q key %q result %v", rr.Scenario, rr.Key, rr.Result)
+	}
+	if rr.Result.Params.Rate != 7 {
+		t.Fatalf("params did not propagate: rate = %v", rr.Result.Params.Rate)
+	}
+}
+
+func TestRunKeyedBySeedAndParams(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	_, b1, _ := postRun(t, ts.URL, `{"scenario":"t-ok","seed":1}`)
+	st, _, tag := postRun(t, ts.URL, `{"scenario":"t-ok","seed":2}`)
+	if st != http.StatusOK || tag == "hit" {
+		t.Fatalf("different seed served from cache (status %d, X-Cache %q)", st, tag)
+	}
+	// Same effective params spelled implicitly vs explicitly: one key.
+	st, b3, tag := postRun(t, ts.URL, `{"scenario":"t-ok","params":{"rate":2},"seed":1}`)
+	if st != http.StatusOK || tag != "hit" {
+		t.Fatalf("explicit defaults missed the cache (status %d, X-Cache %q)", st, tag)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Fatalf("implicit vs explicit defaults served different bodies")
+	}
+}
+
+func TestWallClockBypassesCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	req := `{"scenario":"t-wall","seed":1}`
+	for i := 0; i < 2; i++ {
+		st, _, tag := postRun(t, ts.URL, req)
+		if st != http.StatusOK || tag == "hit" {
+			t.Fatalf("request %d: status %d X-Cache %q (wall runs must not hit)", i, st, tag)
+		}
+	}
+	if n := s.Stats().CacheLen; n != 0 {
+		t.Fatalf("wall-clock result was cached (cache_len = %d)", n)
+	}
+}
+
+func TestRunRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name, body string
+		status     int
+		kind       string
+	}{
+		{"malformed json", `{"scenario":`, http.StatusBadRequest, KindBadRequest},
+		{"unknown field", `{"scenario":"t-ok","bogus":1}`, http.StatusBadRequest, KindBadRequest},
+		{"missing scenario", `{"seed":1}`, http.StatusBadRequest, KindBadRequest},
+		{"unknown scenario", `{"scenario":"no-such"}`, http.StatusNotFound, KindUnknownScenario},
+		{"bad clock", `{"scenario":"t-ok","params":{"clock":"sundial"}}`, http.StatusBadRequest, KindBadRequest},
+		{"negative timeout", `{"scenario":"t-ok","timeout_s":-1}`, http.StatusBadRequest, KindBadRequest},
+	}
+	for _, tc := range cases {
+		st, body, _ := postRun(t, ts.URL, tc.body)
+		if st != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, st, tc.status, body)
+			continue
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == nil {
+			t.Errorf("%s: not a typed error body: %s", tc.name, body)
+			continue
+		}
+		if eb.Error.Kind != tc.kind {
+			t.Errorf("%s: kind %q, want %q", tc.name, eb.Error.Kind, tc.kind)
+		}
+	}
+}
+
+func TestGuardrailErrorsAreTyped(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, MaxEvents: 100})
+	cases := []struct {
+		scenario string
+		status   int
+		kind     string
+	}{
+		{"t-panic", http.StatusInternalServerError, KindPanic},
+		{"t-budget", http.StatusUnprocessableEntity, KindBudgetExceeded},
+		{"t-stall", http.StatusInternalServerError, KindStall},
+	}
+	for _, tc := range cases {
+		st, body, _ := postRun(t, ts.URL, `{"scenario":"`+tc.scenario+`"}`)
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == nil {
+			t.Errorf("%s: not a typed error body: %s", tc.scenario, body)
+			continue
+		}
+		if st != tc.status || eb.Error.Kind != tc.kind {
+			t.Errorf("%s: got %d/%q, want %d/%q", tc.scenario, st, eb.Error.Kind, tc.status, tc.kind)
+		}
+	}
+}
+
+func TestRunDeadlineAbandonsHungRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	start := time.Now()
+	st, body, _ := postRun(t, ts.URL, `{"scenario":"t-hang","timeout_s":0.1}`)
+	if st != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", st, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == nil || eb.Error.Kind != KindTimeout {
+		t.Fatalf("want typed timeout error, got: %s", body)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline did not bound the run: took %v", elapsed)
+	}
+}
+
+func TestScenariosEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	c := &Client{BaseURL: ts.URL}
+	infos, err := c.Scenarios(context.Background())
+	if err != nil {
+		t.Fatalf("Scenarios: %v", err)
+	}
+	found := false
+	for _, in := range infos {
+		if in.Name == "t-ok" {
+			found = true
+			if in.Defaults.Rate != 2 {
+				t.Errorf("t-ok defaults not served: %+v", in.Defaults)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("t-ok missing from scenario list (%d entries)", len(infos))
+	}
+}
+
+func TestHealthReadyStatz(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %v (status %d)", path, err, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	postRun(t, ts.URL, `{"scenario":"t-ok","seed":41}`)
+	postRun(t, ts.URL, `{"scenario":"t-ok","seed":41}`)
+
+	c := &Client{BaseURL: ts.URL}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Requests < 2 || st.CacheHits < 1 || st.CacheMisses < 1 || !st.Ready {
+		t.Fatalf("unexpected counters: %+v", st)
+	}
+
+	// Draining flips /readyz to a typed 503 while /healthz stays 200.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.Shutdown(ctx)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz after drain: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after drain: status %d, want 503", resp.StatusCode)
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz after drain: %v (status %d, want 200)", err, resp2.StatusCode)
+	}
+	resp2.Body.Close()
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatalf("GET /v1/run: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/run: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestClientTypedErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	c := &Client{BaseURL: ts.URL}
+	_, _, err := c.Run(context.Background(), RunRequest{Scenario: "no-such"})
+	ae, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("want *APIError, got %T: %v", err, err)
+	}
+	if ae.Kind != KindUnknownScenario || ae.Status != http.StatusNotFound {
+		t.Fatalf("unexpected typed error: %+v", ae)
+	}
+}

@@ -1,0 +1,35 @@
+// Package sigctx is the one place process-lifecycle signals become
+// context cancellation. Both CLIs (cmd/experiments and cmd/simaibench)
+// need the same two-stage contract — the first signal cancels the
+// context so in-flight work can drain and flush, and default signal
+// handling is restored immediately so a second signal kills the process
+// outright — and a shared helper keeps the subtle part (re-arming the
+// default disposition after the first signal) from being reimplemented
+// slightly differently in each command.
+package sigctx
+
+import (
+	"context"
+	"os"
+	"os/signal"
+)
+
+// WithSignals returns a context cancelled by the first of the given
+// signals (os.Interrupt when none are given) and the function that
+// releases the signal registration early.
+//
+// Contract: graceful once, forceful twice. The first signal cancels the
+// returned context — the caller's drain path runs — and simultaneously
+// restores default signal handling, so a second signal terminates the
+// process instead of being swallowed by a wedged drain.
+func WithSignals(ctx context.Context, sigs ...os.Signal) (context.Context, context.CancelFunc) {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt}
+	}
+	sctx, stop := signal.NotifyContext(ctx, sigs...)
+	go func() {
+		<-sctx.Done()
+		stop()
+	}()
+	return sctx, stop
+}

@@ -1,0 +1,68 @@
+package simaibench
+
+import (
+	"context"
+
+	"simaibench/internal/serve"
+)
+
+// Simulation-as-a-service: the public surface of the serving layer
+// (internal/serve). Serve runs the whole service — content-addressed
+// result cache, singleflight deduplication, bounded admission with
+// 429 shedding, hardened per-run execution and graceful drain — under a
+// caller-supplied context; ServeClient talks to one with typed errors.
+// Library users embedding the server in a larger process use
+// NewSimServer + (*SimServer).Handler instead.
+
+// ServeConfig are the serving robustness knobs: listen address, worker
+// and queue bounds, cache size, drain and run deadlines, the default DES
+// event budget, and retry policy. The zero value serves on :8080 with
+// the documented defaults.
+type ServeConfig = serve.Config
+
+// SimServer is the simulation service. Create with NewSimServer, then
+// mount Handler in a mux or run ListenAndServe; Shutdown drains
+// gracefully.
+type SimServer = serve.Server
+
+// ServeStats is the /statz counter snapshot: cache hits and misses,
+// dedup joins, shed count, evictions and readiness.
+type ServeStats = serve.Stats
+
+// NewSimServer builds a SimServer and starts its worker pool. Callers
+// that never ListenAndServe must call Shutdown to release the workers.
+func NewSimServer(cfg ServeConfig) *SimServer { return serve.New(cfg) }
+
+// Serve runs the simulation service until ctx is cancelled, then drains
+// gracefully: readiness flips first, new runs receive typed 503s,
+// in-flight runs finish up to ServeConfig.DrainTimeout and every
+// completed result is flushed before it returns. Returns nil after a
+// clean drain and ErrDrainTimeout when the deadline forced abandonment.
+func Serve(ctx context.Context, cfg ServeConfig) error {
+	return serve.New(cfg).ListenAndServe(ctx)
+}
+
+// ErrDrainTimeout reports that graceful shutdown hit its drain deadline
+// and abandoned still-running work.
+var ErrDrainTimeout = serve.ErrDrainTimeout
+
+// RunRequest is the body of POST /v1/run: scenario id, parameters,
+// identity seed and deadline.
+type RunRequest = serve.RunRequest
+
+// RunResponse is the success body of POST /v1/run: the result's content
+// address, the structured scenario outcome, and machine-readable kinds
+// for any per-cell guardrail failures.
+type RunResponse = serve.RunResponse
+
+// ServeAPIError is the typed error of the serving API: HTTP status,
+// machine-readable kind and a retry hint.
+type ServeAPIError = serve.APIError
+
+// ScenarioServiceInfo is one entry of GET /v1/scenarios: id, description
+// and paper-default parameters.
+type ScenarioServiceInfo = serve.ScenarioInfo
+
+// ServeClient is a typed client for the serving API; server failures
+// come back as *ServeAPIError so callers switch on Kind.
+type ServeClient = serve.Client

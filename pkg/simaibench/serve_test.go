@@ -1,0 +1,59 @@
+package simaibench
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// The public serving surface, end to end against the real registry: a
+// library user mounts NewSimServer().Handler(), talks to it with the typed
+// client, and gets cache semantics plus typed errors without touching
+// internal packages.
+
+func TestServeLibrarySurface(t *testing.T) {
+	s := NewSimServer(ServeConfig{Workers: 2, CacheSize: 16})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	c := &ServeClient{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	infos, err := c.Scenarios(ctx)
+	if err != nil || len(infos) == 0 {
+		t.Fatalf("Scenarios: %v (%d entries)", err, len(infos))
+	}
+
+	req := RunRequest{Scenario: "fig5", Params: ScenarioParams{SweepIters: 40}, Seed: 1}
+	cold, hit, err := c.Run(ctx, req)
+	if err != nil || hit {
+		t.Fatalf("cold run: %v (cached %v)", err, hit)
+	}
+	if cold.Scenario != "fig5" || cold.Result == nil || len(cold.Result.Tables) == 0 {
+		t.Fatalf("cold run returned a hollow result: %+v", cold)
+	}
+	hot, hit, err := c.Run(ctx, req)
+	if err != nil || !hit {
+		t.Fatalf("hot run: %v (cached %v, want hit)", err, hit)
+	}
+	if hot.Key != cold.Key {
+		t.Fatalf("hot and cold keys differ: %s vs %s", hot.Key, cold.Key)
+	}
+
+	_, _, err = c.Run(ctx, RunRequest{Scenario: "no-such"})
+	ae, ok := err.(*ServeAPIError)
+	if !ok || ae.Kind != "unknown_scenario" {
+		t.Fatalf("want typed unknown_scenario error, got %T: %v", err, err)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil || st.CacheHits < 1 || st.CacheMisses < 1 {
+		t.Fatalf("Stats: %v %+v", err, st)
+	}
+}

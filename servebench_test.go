@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"simaibench/internal/scenario"
+	"simaibench/internal/serve"
+)
+
+// The serving layer's self-benchmark (PR 9, recorded in BENCH_DES.json
+// under "serve"): the server eats its own load generator. Each benchmark
+// replays a seeded open-loop request mix (internal/loadgen arrivals
+// through the typed client) against a live server and reports the
+// service-level observables — QPS, p50/p99 latency, cache hit rate, and
+// the shed rate under 1.2x overload. The zero-lost-completed-results
+// shutdown contract is pinned by TestGracefulShutdownServesInFlight and
+// the cmd-level SIGTERM test rather than measured here.
+
+// newServeBench starts a server on an httptest listener and returns the
+// typed client plus a cleanup.
+func newServeBench(b *testing.B, cfg serve.Config) (*serve.Client, func()) {
+	b.Helper()
+	s := serve.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	return &serve.Client{BaseURL: ts.URL}, func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}
+}
+
+// reportLoad publishes a LoadReport's headline numbers as benchmark
+// metrics.
+func reportLoad(b *testing.B, r *serve.LoadReport) {
+	b.ReportMetric(r.QPS, "qps")
+	b.ReportMetric(r.P50Ms, "p50-ms")
+	b.ReportMetric(r.P99Ms, "p99-ms")
+	if r.Sent > 0 {
+		b.ReportMetric(float64(r.CacheHits)/float64(r.Sent), "hit-rate")
+		b.ReportMetric(r.ShedRate(), "shed-rate")
+	}
+}
+
+// BenchmarkServeHot replays a cache-hot mix: every request addresses the
+// same (scenario, params, seed) cell, so after the first miss the server
+// answers from the content-addressed cache. The p50 here is the serving
+// floor — decode, key, one map lookup, write.
+func BenchmarkServeHot(b *testing.B) {
+	c, cleanup := newServeBench(b, serve.Config{Workers: 2})
+	defer cleanup()
+	req := serve.RunRequest{Scenario: "fig5", Params: scenario.Params{SweepIters: 40}, Seed: 1}
+	if _, _, err := c.Run(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := serve.RunLoad(context.Background(), c, serve.LoadConfig{
+			Seed: int64(i + 1), Requests: 200, RatePerS: 1000,
+			Mix:     []serve.LoadMix{{Name: "hot", Weight: 1, Request: req}},
+			Timeout: 30 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.OK != report.Sent {
+			b.Fatalf("hot replay lost requests: %+v", report)
+		}
+		reportLoad(b, report)
+	}
+}
+
+// BenchmarkServeCold replays a cache-cold mix: every request is a
+// distinct cell (the seed varies per arrival), so each one is admitted
+// and simulated. This is the serving path's full cost — admission,
+// hardened run, encode, cache insert.
+func BenchmarkServeCold(b *testing.B) {
+	c, cleanup := newServeBench(b, serve.Config{Workers: 2})
+	defer cleanup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := serve.RunLoad(context.Background(), c, serve.LoadConfig{
+			Seed: int64(i + 1), Requests: 100, RatePerS: 400,
+			Mix: []serve.LoadMix{{Name: "cold", Weight: 1, VarySeed: true,
+				Request: serve.RunRequest{Scenario: "fig5",
+					Params: scenario.Params{SweepIters: 40},
+					Seed:   int64(10_000 + i*1_000_000)}}},
+			Timeout: 30 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.OK != report.Sent {
+			b.Fatalf("cold replay lost requests: %+v", report)
+		}
+		reportLoad(b, report)
+	}
+}
+
+// BenchmarkServeOverload offers 1.2x the measured single-worker capacity
+// of a heavier scenario (table2, ~tens of ms per run) at queue depth 2:
+// graceful degradation means the excess sheds with typed 429s while
+// admitted requests still complete. shed-rate is the headline metric.
+func BenchmarkServeOverload(b *testing.B) {
+	c, cleanup := newServeBench(b, serve.Config{Workers: 1, QueueDepth: 2})
+	defer cleanup()
+	req := serve.RunRequest{Scenario: "table2", Params: scenario.Params{TrainIters: 100}, Seed: 1}
+
+	// Calibrate capacity: one cold run's wall time on the only worker.
+	t0 := time.Now()
+	if _, _, err := c.Run(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	serviceS := time.Since(t0).Seconds()
+	rate := 1.2 / serviceS
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(serviceS*1000, "service-ms")
+		report, err := serve.RunLoad(context.Background(), c, serve.LoadConfig{
+			Seed: int64(i + 1), Requests: 30, RatePerS: rate,
+			Mix: []serve.LoadMix{{Name: "overload", Weight: 1, VarySeed: true,
+				Request: serve.RunRequest{Scenario: "table2",
+					Params: scenario.Params{TrainIters: 100},
+					Seed:   int64(20_000 + i*1_000_000)}}},
+			Timeout: 120 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Failed > 0 {
+			b.Fatalf("overload produced non-shed failures: %+v", report)
+		}
+		reportLoad(b, report)
+	}
+}
