@@ -39,6 +39,7 @@ import (
 
 	"simaibench/internal/clock"
 	"simaibench/internal/experiments" // registers the paper's scenarios
+	"simaibench/internal/mpi"
 	"simaibench/internal/scenario"
 	"simaibench/internal/sigctx"
 	"simaibench/internal/sweep"
@@ -72,7 +73,8 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	policy := fs.String("policy", "", "scheduling policy for the campaign family: fifo|edf|srpt|hermod (empty = all policies)")
 	jobs := fs.Int("jobs", 0, "open-loop jobs per campaign sweep cell (0 = scenario default, 2000)")
 	parallel := fs.Int("parallel", 0, "sweep worker count (0 = all cores, 1 = serial); results are identical at any setting")
-	workers := fs.Int("workers", 1, "parallel DES workers per simulated cell for fig3/fig4/scale-out (1 = sequential engine); metrics are bit-identical at any setting")
+	workers := fs.Int("workers", 1, "parallel DES workers per simulated cell for fig3/fig4/scale-out/gradsync (1 = sequential engine); metrics are bit-identical at any setting")
+	collAlgo := fs.String("collalgo", "", "collective algorithm for the gradsync family: flat|ring|tree|hier (empty = full algorithm sweep)")
 	timeout := fs.Float64("timeout", 0, "per-sweep-cell wall-clock deadline in seconds (0 = none); a wedged cell is abandoned with a structured failure instead of hanging the run")
 	retries := fs.Int("retries", 0, "extra attempts per sweep cell on retryable failures (0 = fail on first error)")
 	maxEvents := fs.Int64("max-events", 0, "DES event budget per simulated sweep cell (0 = unlimited); a runaway cell aborts with a structured budget error")
@@ -106,6 +108,10 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		fmt.Fprintln(stderr, "experiments:", err)
 		return 1
 	}
+	if _, err := mpi.ParseCollAlgo(*collAlgo); err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
 	params := scenario.Params{
 		TrainIters:   *trainIters,
 		SweepIters:   *sweepIters,
@@ -120,6 +126,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		TimeoutS:     *timeout,
 		Retries:      *retries,
 		MaxEvents:    *maxEvents,
+		CollAlgo:     *collAlgo,
 	}
 	if *workers > 1 {
 		// Only record an explicit parallel-engine request: Workers stays

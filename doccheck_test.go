@@ -23,6 +23,7 @@ var docCheckedPackages = []string{
 	"internal/scenario",
 	"internal/sweep",
 	"internal/cluster",
+	"internal/mpi",
 	"internal/loadgen",
 	"internal/schedule",
 	"internal/serve",

@@ -133,6 +133,15 @@ type Params struct {
 	DragonSharedSlots    int
 	DragonSharedServiceS float64
 	DragonSharedBWGBps   float64
+
+	// --- Collective communication (gradsync scenario family) ---
+
+	// CollAlgo selects the collective algorithm the communication cost
+	// layer models (see coll.go): "flat", "ring", "tree" or "hier". The
+	// zero value ("") is flat — the legacy single-cost rendezvous — so
+	// every pre-existing scenario's output is byte-unchanged unless an
+	// algorithm is explicitly requested.
+	CollAlgo string
 }
 
 // Default returns the calibrated parameter set used by the experiment

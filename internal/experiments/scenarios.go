@@ -78,6 +78,9 @@ func init() {
 	scenario.Register(scenario.New("campaign",
 		"Facility-scale scheduling — open-loop job stream vs global policy (queueing tails, utilization, fairness)",
 		scenario.Params{Jobs: 2000, Tenants: 8}, runCampaignScenario))
+	scenario.Register(scenario.New("gradsync",
+		"Gradient synchronization — AllReduce algorithms (ring/tree/hier) over the dragonfly topology (step time, comm fraction, crossover)",
+		sweepDefaults, runGradSyncScenario))
 	// "all" reproduces the paper's core artifacts in presentation order
 	// (the streaming extension and ablations remain separate ids, as in
 	// the pre-registry CLI).

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 	"sync"
 )
@@ -180,25 +181,44 @@ func (c *Comm) Barrier() {
 	c.rendezvous(nil, func([]any) any { return nil })
 }
 
+// validateEqualLengths panics when any two ranks' contributions to the
+// current collective disagree in length, naming both ranks and lengths.
+// It runs inside the combine — on the last-arriving rank, before any
+// result is published — so a mismatch is a loud, attributable failure
+// instead of a silently truncated broadcast or an out-of-bounds panic
+// deep in the element loop.
+func validateEqualLengths(coll string, slots []any) {
+	n0 := len(slots[0].([]float64))
+	for r := 1; r < len(slots); r++ {
+		if nr := len(slots[r].([]float64)); nr != n0 {
+			panic(fmt.Sprintf("mpi: %s length mismatch: rank 0 has %d elements, rank %d has %d",
+				coll, n0, r, nr))
+		}
+	}
+}
+
 // Bcast broadcasts root's buffer to all ranks. Every rank passes its own
-// buf; non-root buffers are overwritten in place (lengths must match).
+// buf; non-root buffers are overwritten in place (lengths must match —
+// a mismatch panics naming both ranks).
 func (c *Comm) Bcast(root int, buf []float64) {
-	out := c.rendezvous(buf, func(slots []any) any {
-		src := slots[root].([]float64)
-		cp := make([]float64, len(src))
-		copy(cp, src)
-		return cp
+	contribution := make([]float64, len(buf))
+	copy(contribution, buf)
+	out := c.rendezvous(contribution, func(slots []any) any {
+		validateEqualLengths("bcast", slots)
+		return slots[root]
 	})
 	copy(buf, out.([]float64))
 }
 
 // AllReduce reduces buf element-wise across all ranks with op and writes
-// the result back into buf on every rank.
+// the result back into buf on every rank. Lengths must match across
+// ranks; a mismatch panics naming both ranks.
 func (c *Comm) AllReduce(op Op, buf []float64) {
 	contribution := make([]float64, len(buf))
 	copy(contribution, buf)
 	out := c.rendezvous(contribution, func(slots []any) any {
-		acc := make([]float64, len(buf))
+		validateEqualLengths("allreduce", slots)
+		acc := make([]float64, len(slots[0].([]float64)))
 		copy(acc, slots[0].([]float64))
 		for r := 1; r < len(slots); r++ {
 			xs := slots[r].([]float64)
@@ -212,12 +232,14 @@ func (c *Comm) AllReduce(op Op, buf []float64) {
 }
 
 // Reduce reduces to root only; other ranks receive buf unchanged and the
-// result slice is returned only on root (nil elsewhere).
+// result slice is returned only on root (nil elsewhere). Lengths must
+// match across ranks; a mismatch panics naming both ranks.
 func (c *Comm) Reduce(op Op, root int, buf []float64) []float64 {
 	contribution := make([]float64, len(buf))
 	copy(contribution, buf)
 	out := c.rendezvous(contribution, func(slots []any) any {
-		acc := make([]float64, len(buf))
+		validateEqualLengths("reduce", slots)
+		acc := make([]float64, len(slots[0].([]float64)))
 		copy(acc, slots[0].([]float64))
 		for r := 1; r < len(slots); r++ {
 			xs := slots[r].([]float64)
@@ -274,19 +296,28 @@ func (c *Comm) Gather(root int, buf []float64) []float64 {
 
 // Scatter splits root's data into world-size equal chunks and returns this
 // rank's chunk on every rank. len(data) must be a multiple of Size on
-// root; other ranks may pass nil.
+// root; other ranks may pass nil. Root's length is validated *before*
+// the rendezvous — a bad length panics only the offending caller, never
+// the whole world past the barrier — and root's data is copied before
+// deposit, so the caller's slice is never aliased in the shared
+// rendezvous state (a caller mutating data while slower ranks are still
+// in the collective cannot corrupt their chunks).
 func (c *Comm) Scatter(root int, data []float64) []float64 {
-	out := c.rendezvous(data, func(slots []any) any {
-		src := slots[root].([]float64)
-		cp := make([]float64, len(src))
-		copy(cp, src)
-		return cp
+	n := c.world.size
+	var contribution []float64
+	if c.rank == root {
+		if len(data)%n != 0 {
+			panic(fmt.Sprintf("mpi: scatter root %d data length %d not divisible by world size %d",
+				root, len(data), n))
+		}
+		contribution = make([]float64, len(data))
+		copy(contribution, data)
+	}
+	out := c.rendezvous(contribution, func(slots []any) any {
+		// The deposit is already a private copy; publish it directly.
+		return slots[root]
 	})
 	full := out.([]float64)
-	n := c.world.size
-	if len(full)%n != 0 {
-		panic("mpi: scatter length not divisible by world size")
-	}
 	chunk := len(full) / n
 	res := make([]float64, chunk)
 	copy(res, full[c.rank*chunk:(c.rank+1)*chunk])
@@ -318,11 +349,13 @@ func decodeFloat64s(b []byte) []float64 {
 func (c *Comm) AllToAll(buf []float64) []float64 {
 	n := c.world.size
 	if len(buf)%n != 0 {
-		panic("mpi: alltoall length not divisible by world size")
+		panic(fmt.Sprintf("mpi: alltoall length %d not divisible by world size %d (rank %d)",
+			len(buf), n, c.rank))
 	}
 	contribution := make([]float64, len(buf))
 	copy(contribution, buf)
 	out := c.rendezvous(contribution, func(slots []any) any {
+		validateEqualLengths("alltoall", slots)
 		// Copy the slot container: ranks slice their columns after the
 		// rendezvous, by which time the shared slots array has been
 		// reset for the next collective.
@@ -344,12 +377,14 @@ func (c *Comm) AllToAll(buf []float64) []float64 {
 func (c *Comm) ReduceScatter(op Op, buf []float64) []float64 {
 	n := c.world.size
 	if len(buf)%n != 0 {
-		panic("mpi: reducescatter length not divisible by world size")
+		panic(fmt.Sprintf("mpi: reducescatter length %d not divisible by world size %d (rank %d)",
+			len(buf), n, c.rank))
 	}
 	contribution := make([]float64, len(buf))
 	copy(contribution, buf)
 	out := c.rendezvous(contribution, func(slots []any) any {
-		acc := make([]float64, len(buf))
+		validateEqualLengths("reducescatter", slots)
+		acc := make([]float64, len(slots[0].([]float64)))
 		copy(acc, slots[0].([]float64))
 		for r := 1; r < len(slots); r++ {
 			xs := slots[r].([]float64)

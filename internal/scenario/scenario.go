@@ -84,11 +84,18 @@ type Params struct {
 	// budget error instead of looping forever.
 	MaxEvents int64 `json:"max_events,omitempty"`
 	// Workers selects the parallel DES engine for the simulated-scale
-	// cells that support it (fig3/fig4/scale-out): with Workers > 1 each
-	// cell partitions into logical processes advanced by up to that many
-	// cores (des.LPSet); 0 or 1 keeps the sequential engine. Metrics are
-	// bit-identical for every value — Workers only trades wall-clock.
+	// cells that support it (fig3/fig4/scale-out/gradsync): with
+	// Workers > 1 each cell partitions into logical processes advanced
+	// by up to that many cores (des.LPSet); 0 or 1 keeps the sequential
+	// engine. Metrics are bit-identical for every value — Workers only
+	// trades wall-clock.
 	Workers int `json:"workers,omitempty"`
+	// CollAlgo narrows the gradsync family's collective-algorithm sweep
+	// to one algorithm: "flat", "ring", "tree" or "hier" (empty = the
+	// full algorithm axis; other scenarios ignore it). Threaded into
+	// costmodel.Params.CollAlgo, whose empty default prices collectives
+	// as the legacy flat rendezvous.
+	CollAlgo string `json:"coll_algo,omitempty"`
 }
 
 // Guardrails converts the params' per-cell guardrail knobs into the
@@ -150,6 +157,9 @@ func (p Params) merge(d Params) Params {
 	}
 	if p.Workers == 0 {
 		p.Workers = d.Workers
+	}
+	if p.CollAlgo == "" {
+		p.CollAlgo = d.CollAlgo
 	}
 	return p
 }

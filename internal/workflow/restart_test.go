@@ -167,6 +167,55 @@ func TestCrashMidAllReduceTearsDownClockBridge(t *testing.T) {
 	}
 }
 
+// TestCrashMidHierAllReduceTearsDownClockBridge mirrors the flat-
+// rendezvous crash test for the hierarchical algorithmic AllReduce,
+// whose waits park in point-to-point mailboxes (member→leader gather,
+// leader ring, leader→member broadcast) rather than the collective
+// barrier. A rank dying mid-hierarchy must still unwind every parked
+// sibling through the killed world — leaders waiting on a member that
+// never sends, members waiting on a broadcast that never comes — with
+// the bridge's barrier accounting intact (run under -race in CI).
+func TestCrashMidHierAllReduceTearsDownClockBridge(t *testing.T) {
+	v := clock.NewVirtual()
+	w := New("wf", WithClock(v))
+	const ranks = 4
+	// Two routers of two: rank 1 is router 0's non-leader member, so
+	// leader 0 parks in the gather Recv and router 1's ranks park in
+	// the leader-ring Recv when it dies.
+	routerOf := []int{0, 0, 1, 1}
+	var mu sync.Mutex
+	runs := 0
+	_ = w.Register(Component{
+		Name:        "train",
+		Type:        Remote,
+		Ranks:       ranks,
+		MaxRestarts: 2, // must not apply: panics are not restartable
+		Body: func(ctx Ctx) error {
+			mu.Lock()
+			runs++
+			mu.Unlock()
+			ctx.Clock.Sleep(5)
+			if ctx.Comm.Rank() == 1 {
+				// Let the other ranks park inside the hierarchy's p2p
+				// waits (leaving the clock barrier through the mailbox
+				// bridge), then die without ever sending upward.
+				ctx.Clock.Sleep(20)
+				panic("node 1 hardware failure")
+			}
+			buf := []float64{1}
+			ctx.Comm.AllReduceAlgoOn(mpi.AlgoHier, mpi.Sum, buf, routerOf)
+			return nil
+		},
+	})
+	err := w.Launch(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "node 1 hardware failure") {
+		t.Fatalf("Launch = %v, want the injected crash", err)
+	}
+	if runs != ranks {
+		t.Fatalf("bodies ran %d times, want %d (no restart after a panic)", runs, ranks)
+	}
+}
+
 // TestRemoteRankRestartsUnderVirtualClock: one rank of a remote
 // component fails restartably and re-enters the collectives its
 // siblings are parked in; the workflow completes deterministically on

@@ -1,0 +1,41 @@
+package simaibench
+
+import (
+	"context"
+	"testing"
+)
+
+func TestPublicGradSyncPoint(t *testing.T) {
+	p, err := RunGradSync(GradSyncConfig{Ranks: 64, ModelMB: 4, Algo: "hier", Steps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps != 40 || p.StepMeanS <= 0 || p.CollS <= 0 {
+		t.Fatalf("degenerate point: %+v", p)
+	}
+}
+
+func TestPublicAllReduceCost(t *testing.T) {
+	topo := AuroraTopology(512)
+	algo, err := ParseCollAlgo("hier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := AllReduceCost(algo, topo, 512, 0.25, nil)
+	ring := AllReduceCost(AlgoRing, topo, 512, 0.25, nil)
+	if hier.TimeS >= ring.TimeS {
+		t.Fatalf("small-message hier %v should beat ring %v at 512 ranks", hier.TimeS, ring.TimeS)
+	}
+}
+
+func TestPublicGradSyncScenario(t *testing.T) {
+	res, err := RunScenario(context.Background(), "gradsync",
+		ScenarioParams{SweepIters: 20, CollAlgo: "ring"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One table per rank count; no crossover table on a narrowed axis.
+	if len(res.Tables) != 3 {
+		t.Fatalf("tables = %d, want one per rank count", len(res.Tables))
+	}
+}
